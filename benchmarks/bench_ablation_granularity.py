@@ -1,0 +1,37 @@
+"""Extension — Security Shield cost by policy granularity.
+
+Stream-, tuple- and attribute-level policies (Section III.A) carrying
+*identical* access decisions, so the measured differences are pure
+enforcement overhead: one shared decision per segment vs per-tuple
+resolution vs per-tuple-per-attribute intersection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import run_pipeline
+from repro.experiments.granularity import GRANULARITIES, granularity_stream
+from repro.operators.shield import SecurityShield
+from repro.workloads.synthetic import QUERY_ROLE
+
+
+@pytest.fixture(scope="module")
+def streams(bench_tuples):
+    return {
+        granularity: granularity_stream(granularity, bench_tuples,
+                                        tuples_per_sp=10, seed=53)
+        for granularity in GRANULARITIES
+    }
+
+
+@pytest.mark.parametrize("granularity", GRANULARITIES)
+def test_ablation_granularity(benchmark, streams, granularity):
+    elements = streams[granularity]
+
+    def once():
+        return run_pipeline(elements, SecurityShield([QUERY_ROLE]))
+
+    timings = benchmark(once)
+    benchmark.extra_info["granularity"] = granularity
+    benchmark.extra_info["ss_ms"] = round(timings["ss_ms"], 6)

@@ -1,0 +1,86 @@
+"""Ablation — incremental (delta) sps vs full policy restatement.
+
+With a large standing policy that changes by one role at a time (the
+future-work scenario: admit the ER, drop the ER), a provider can either
+restate the whole |R|-role policy per change or send a one-role delta.
+This bench compares Security Shield processing cost and transmitted sp
+payload bytes for the two encodings at several policy sizes.
+
+Expected trade-off: deltas shrink the transmitted sp payload from
+O(|R|) to O(1) per change (see ``sp_payload_bytes`` in extra_info),
+while the *server* pays a policy-merge per delta batch — so absolute
+restatement can process faster when bandwidth is free.  Exactly the
+kind of trade the paper's future-work item would need to weigh.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.shield import SecurityShield
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+from repro.stream.wire import encode_element
+from repro.workloads.synthetic import QUERY_ROLE, role_names
+
+POLICY_SIZES = (10, 50, 200)
+TUPLES_PER_CHANGE = 10
+N_CHANGES = 120
+
+
+def _streams(policy_size: int):
+    """(absolute, delta) encodings of the same policy evolution.
+
+    The standing policy is ``policy_size`` roles incl. the query role;
+    every ``TUPLES_PER_CHANGE`` tuples one extra role (``flicker``)
+    toggles in and out.
+    """
+    base = sorted(set(role_names(policy_size - 1) + [QUERY_ROLE]))
+    absolute: list[StreamElement] = []
+    delta: list[StreamElement] = []
+    ts = 0.0
+    tid = 0
+    delta.append(SecurityPunctuation.grant(base, 0.5))  # initial policy
+    flicker_on = False
+    for change in range(N_CHANGES):
+        ts += 1.0
+        flicker_on = not flicker_on
+        roles = base + ["flicker"] if flicker_on else base
+        absolute.append(SecurityPunctuation.grant(sorted(roles), ts))
+        if flicker_on:
+            delta.append(SecurityPunctuation.add_roles(["flicker"], ts))
+        else:
+            delta.append(SecurityPunctuation.retract_roles(["flicker"], ts))
+        for _ in range(TUPLES_PER_CHANGE):
+            ts += 1.0
+            item = DataTuple("s", tid, {"v": tid}, ts)
+            absolute.append(item)
+            delta.append(item)
+            tid += 1
+    return absolute, delta
+
+
+def _drive(elements) -> int:
+    shield = SecurityShield([QUERY_ROLE])
+    out = 0
+    for element in elements:
+        out += sum(1 for item in shield.process(element)
+                   if isinstance(item, DataTuple))
+    return out
+
+
+@pytest.mark.parametrize("policy_size", POLICY_SIZES)
+@pytest.mark.parametrize("encoding", ["absolute", "delta"])
+def test_ablation_incremental(benchmark, encoding, policy_size):
+    absolute, delta = _streams(policy_size)
+    elements = absolute if encoding == "absolute" else delta
+
+    out = benchmark(lambda: _drive(elements))
+    # Both encodings must deliver every tuple (query role always in).
+    assert out == N_CHANGES * TUPLES_PER_CHANGE
+    sp_bytes = sum(len(encode_element(e)) for e in elements
+                   if isinstance(e, SecurityPunctuation))
+    benchmark.extra_info["encoding"] = encoding
+    benchmark.extra_info["policy_size"] = policy_size
+    benchmark.extra_info["sp_payload_bytes"] = sp_bytes

@@ -1,0 +1,47 @@
+"""Ablation — probe-and-filter vs filter-and-probe nested-loop SAJoin.
+
+Section V.B.1 describes both probe orders.  PF checks the join value
+first and the policies of matching pairs second; FP filters the
+opposite window down to policy-compatible segments first.  FP should
+win when policy compatibility is rare (σsp small) and lose its edge as
+σsp → 1, where the policy filter rejects nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig9 import drive_join
+from repro.operators.join import NestedLoopSAJoin
+from repro.workloads.synthetic import join_streams
+
+WINDOW = 300.0
+SIGMAS = (0.0, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def streams(join_tuples):
+    out = {}
+    for sigma in SIGMAS:
+        left, right, _, _ = join_streams(
+            join_tuples, tuples_per_sp=10, compatibility=sigma,
+            match_fraction=0.15, seed=29)
+        out[sigma] = (left, right)
+    return out
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+@pytest.mark.parametrize("method", ["PF", "FP"])
+def test_ablation_pf_fp(benchmark, streams, method, sigma):
+    left, right = streams[sigma]
+
+    def once():
+        join = NestedLoopSAJoin("key", "key", WINDOW, method=method,
+                                left_sid="left", right_sid="right")
+        return drive_join(join, left, right)
+
+    timings = benchmark(once)
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["sigma_sp"] = sigma
+    benchmark.extra_info["join_ms"] = round(timings["join_ms"], 4)
+    benchmark.extra_info["results"] = timings["results"]

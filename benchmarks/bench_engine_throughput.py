@@ -1,0 +1,54 @@
+"""Engine throughput: end-to-end DSMS execution at growing fan-out.
+
+Measures whole-engine element throughput (sources → analyzer → shared
+plan → delivery) as the number of concurrently registered queries
+grows, and compares the three optimization modes (as-registered,
+per-query optimized, workload-optimized).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import ScanExpr
+from repro.engine.dsms import DSMS
+from repro.operators.conditions import Comparison
+from repro.workloads.synthetic import (SYNTH_SCHEMA, punctuated_stream,
+                                       role_names)
+
+QUERY_COUNTS = (1, 4, 16)
+MODES = {"plain": False, "optimized": True, "workload": "workload"}
+
+
+def build_dsms(n_queries: int, elements) -> DSMS:
+    dsms = DSMS()
+    dsms.register_stream(SYNTH_SCHEMA, elements)
+    base = ScanExpr("synthetic").select(Comparison("x", ">", 100.0))
+    for index, role in enumerate(role_names(n_queries, prefix="qr")):
+        dsms.register_query(f"q{index}", base, roles={role, "q_role"})
+    return dsms
+
+
+@pytest.fixture(scope="module")
+def elements(bench_tuples):
+    return list(punctuated_stream(
+        bench_tuples, tuples_per_sp=10, policy_size=3,
+        accessible_fraction=0.6, seed=61))
+
+
+@pytest.mark.parametrize("n_queries", QUERY_COUNTS)
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_engine_throughput(benchmark, elements, mode, n_queries):
+    optimize = MODES[mode]
+    dsms = build_dsms(n_queries, elements)
+
+    def once():
+        return dsms.run(optimize=optimize)
+
+    results = benchmark(once)
+    total_out = sum(len(r.tuples) for r in results.values())
+    benchmark.extra_info["n_queries"] = n_queries
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["tuples_delivered"] = total_out
+    benchmark.extra_info["elements_in"] = (
+        dsms.last_report.elements_in if dsms.last_report else 0)

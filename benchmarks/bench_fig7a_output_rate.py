@@ -1,0 +1,51 @@
+"""Figure 7a — output rate of the three enforcement mechanisms.
+
+Regenerates the paper's series: output rate (tuples per ms of
+processing) for store-and-probe, tuple-embedded policies and security
+punctuations across sp:tuple ratios 1/1 ... 1/100.
+
+Run::
+
+    pytest benchmarks/bench_fig7a_output_rate.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import (PAPER_RATIOS, run_sp_mechanism,
+                                    run_store_and_probe,
+                                    run_tuple_embedded)
+from repro.workloads.synthetic import QUERY_ROLE, punctuated_stream
+
+MECHANISMS = {
+    "store_and_probe": run_store_and_probe,
+    "tuple_embedded": run_tuple_embedded,
+    "security_punctuations": run_sp_mechanism,
+}
+
+
+@pytest.fixture(scope="module")
+def streams(bench_tuples):
+    return {
+        ratio: list(punctuated_stream(
+            bench_tuples, tuples_per_sp=ratio, policy_size=3,
+            accessible_fraction=0.6, seed=7))
+        for ratio in PAPER_RATIOS
+    }
+
+
+@pytest.mark.parametrize("ratio", PAPER_RATIOS)
+@pytest.mark.parametrize("mechanism", sorted(MECHANISMS))
+def test_fig7a(benchmark, streams, mechanism, ratio):
+    elements = streams[ratio]
+    run = MECHANISMS[mechanism]
+
+    def once():
+        return run(elements, [QUERY_ROLE])
+
+    result = benchmark(once)
+    benchmark.extra_info["ratio"] = f"1/{ratio}"
+    benchmark.extra_info["mechanism"] = result.mechanism
+    benchmark.extra_info["output_rate_tuples_per_ms"] = result.output_rate
+    benchmark.extra_info["tuples_out"] = result.tuples_out

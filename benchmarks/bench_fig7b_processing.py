@@ -1,0 +1,41 @@
+"""Figure 7b — processing cost per tuple of the three mechanisms.
+
+Same workload as Figure 7a; the benchmarked quantity is the per-tuple
+processing cost (the paper's y-axis), exposed via ``extra_info`` while
+pytest-benchmark reports the end-to-end run time distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import (PAPER_RATIOS, run_sp_mechanism,
+                                    run_store_and_probe,
+                                    run_tuple_embedded)
+from repro.workloads.synthetic import QUERY_ROLE, punctuated_stream
+
+MECHANISMS = {
+    "store_and_probe": run_store_and_probe,
+    "tuple_embedded": run_tuple_embedded,
+    "security_punctuations": run_sp_mechanism,
+}
+
+
+@pytest.fixture(scope="module")
+def streams(bench_tuples):
+    return {
+        ratio: list(punctuated_stream(
+            bench_tuples, tuples_per_sp=ratio, policy_size=3,
+            accessible_fraction=0.6, seed=7))
+        for ratio in PAPER_RATIOS
+    }
+
+
+@pytest.mark.parametrize("ratio", PAPER_RATIOS)
+@pytest.mark.parametrize("mechanism", sorted(MECHANISMS))
+def test_fig7b(benchmark, streams, mechanism, ratio):
+    elements = streams[ratio]
+    run = MECHANISMS[mechanism]
+    result = benchmark(lambda: run(elements, [QUERY_ROLE]))
+    benchmark.extra_info["ratio"] = f"1/{ratio}"
+    benchmark.extra_info["per_tuple_ms"] = result.per_tuple_ms

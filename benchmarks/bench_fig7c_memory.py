@@ -1,0 +1,46 @@
+"""Figure 7c — memory consumption vs policy size |R|.
+
+Memory is not a timing quantity, so this bench reports the measured
+bytes per mechanism/|R| point through ``extra_info`` (and spends its
+timing budget on the measurement pass itself).  The paper's shape:
+tuple-embedded grows fastest; the sp model is smallest for small
+policies; the persistent table overtakes the sp model once |R| > ~25.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import (PAPER_POLICY_SIZES,
+                                    _large_policy_stream,
+                                    run_sp_mechanism, run_store_and_probe,
+                                    run_tuple_embedded)
+from repro.workloads.synthetic import QUERY_ROLE
+
+MECHANISMS = {
+    "store_and_probe": run_store_and_probe,
+    "tuple_embedded": run_tuple_embedded,
+    "security_punctuations": run_sp_mechanism,
+}
+
+
+@pytest.fixture(scope="module")
+def streams(bench_tuples):
+    n = max(bench_tuples // 2, 500)
+    return {
+        size: _large_policy_stream(n, size, tuples_per_sp=10, seed=11)
+        for size in PAPER_POLICY_SIZES
+    }
+
+
+@pytest.mark.parametrize("policy_size", PAPER_POLICY_SIZES)
+@pytest.mark.parametrize("mechanism", sorted(MECHANISMS))
+def test_fig7c(benchmark, streams, mechanism, policy_size):
+    elements = streams[policy_size]
+    run = MECHANISMS[mechanism]
+    result = benchmark.pedantic(
+        lambda: run(elements, [QUERY_ROLE], buffer_size=250),
+        rounds=1, iterations=1)
+    benchmark.extra_info["policy_size"] = policy_size
+    benchmark.extra_info["memory_bytes"] = result.memory_bytes
+    benchmark.extra_info["memory_mb"] = round(result.memory_mb, 4)

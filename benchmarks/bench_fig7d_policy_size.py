@@ -1,0 +1,41 @@
+"""Figure 7d — processing cost per 100 tuples vs policy size |R|.
+
+The paper's shape: as policies grow, the tuple-embedded approach pays
+the most (every tuple carries and checks its own |R|-role copy), while
+store-and-probe and the sp model grow much more slowly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import (PAPER_POLICY_SIZES,
+                                    _large_policy_stream,
+                                    run_sp_mechanism, run_store_and_probe,
+                                    run_tuple_embedded)
+from repro.workloads.synthetic import QUERY_ROLE
+
+MECHANISMS = {
+    "store_and_probe": run_store_and_probe,
+    "tuple_embedded": run_tuple_embedded,
+    "security_punctuations": run_sp_mechanism,
+}
+
+
+@pytest.fixture(scope="module")
+def streams(bench_tuples):
+    n = max(bench_tuples // 2, 500)
+    return {
+        size: _large_policy_stream(n, size, tuples_per_sp=10, seed=11)
+        for size in PAPER_POLICY_SIZES
+    }
+
+
+@pytest.mark.parametrize("policy_size", PAPER_POLICY_SIZES)
+@pytest.mark.parametrize("mechanism", sorted(MECHANISMS))
+def test_fig7d(benchmark, streams, mechanism, policy_size):
+    elements = streams[policy_size]
+    run = MECHANISMS[mechanism]
+    result = benchmark(lambda: run(elements, [QUERY_ROLE]))
+    benchmark.extra_info["policy_size"] = policy_size
+    benchmark.extra_info["per_100_tuples_ms"] = result.per_100_tuples_ms

@@ -1,0 +1,38 @@
+"""Figure 8a — Security Shield cost vs the cheapest query operators.
+
+Per-operator per-tuple cost (project, select, SS) inside one shared
+pipeline, across sp:tuple ratios.  The paper's shape: SS cost is
+highest at 1/1 (one sp evaluated per tuple) and drops sharply as more
+tuples share an sp, approaching select/project cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import PAPER_SS_RATIOS, run_pipeline
+from repro.operators.shield import SecurityShield
+from repro.workloads.synthetic import QUERY_ROLE, punctuated_stream
+
+
+@pytest.fixture(scope="module")
+def streams(bench_tuples):
+    return {
+        ratio: list(punctuated_stream(
+            bench_tuples, tuples_per_sp=ratio, policy_size=3,
+            accessible_fraction=0.6, seed=13))
+        for ratio in PAPER_SS_RATIOS
+    }
+
+
+@pytest.mark.parametrize("ratio", PAPER_SS_RATIOS)
+def test_fig8a(benchmark, streams, ratio):
+    elements = streams[ratio]
+
+    def once():
+        return run_pipeline(elements, SecurityShield([QUERY_ROLE]))
+
+    timings = benchmark(once)
+    benchmark.extra_info["ratio"] = f"1/{ratio}"
+    for key in ("ss_ms", "select_ms", "project_ms"):
+        benchmark.extra_info[key] = round(timings[key], 6)

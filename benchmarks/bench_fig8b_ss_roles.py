@@ -1,0 +1,41 @@
+"""Figure 8b — Security Shield cost vs role count in the SS state.
+
+The SS state holds the roles of the query specifiers registered for
+the stream (R ∈ {1, 10, 50, 100, 500}).  The paper's baseline SS scans
+its state per sp, so cost grows with R but stays a minor share of the
+query; the predicate-index remedy (``indexed`` parameter) flattens the
+curve, benchmarked alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import PAPER_ROLE_COUNTS, run_pipeline
+from repro.operators.shield import SecurityShield
+from repro.workloads.synthetic import (QUERY_ROLE, punctuated_stream,
+                                       role_names)
+
+
+@pytest.fixture(scope="module")
+def stream(bench_tuples):
+    return list(punctuated_stream(
+        bench_tuples, tuples_per_sp=10, policy_size=3,
+        role_pool=600, accessible_fraction=0.6, seed=17))
+
+
+@pytest.mark.parametrize("role_count", PAPER_ROLE_COUNTS)
+@pytest.mark.parametrize("indexed", [False, True],
+                         ids=["scan-state", "predicate-index"])
+def test_fig8b(benchmark, stream, role_count, indexed):
+    state_roles = role_names(role_count, prefix="qr") + [QUERY_ROLE]
+
+    def once():
+        return run_pipeline(stream,
+                            SecurityShield(state_roles, indexed=indexed))
+
+    timings = benchmark(once)
+    benchmark.extra_info["roles"] = role_count
+    benchmark.extra_info["indexed"] = indexed
+    benchmark.extra_info["ss_ms"] = round(timings["ss_ms"], 6)
+    benchmark.extra_info["ss_fraction"] = round(timings["ss_fraction"], 4)

@@ -1,0 +1,52 @@
+"""Figure 9 — nested-loop vs index SAJoin across sp selectivities.
+
+Total per-100-tuple cost, decomposed into join time, sp maintenance
+and tuple maintenance, for σsp ∈ {0, 0.1, 0.5, 1}.  The paper's shape:
+the index SAJoin wins everywhere; its join-time advantage is largest
+when few policies are compatible (σsp = 0) and smallest at σsp = 1;
+sp-maintenance cost stays low throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitmap import RoleUniverse
+from repro.experiments.fig9 import PAPER_SELECTIVITIES, drive_join
+from repro.operators.index_join import IndexSAJoin
+from repro.operators.join import NestedLoopSAJoin
+
+WINDOW = 300.0
+
+VARIANTS = {
+    "nested_loop": lambda: NestedLoopSAJoin(
+        "key", "key", WINDOW, left_sid="left", right_sid="right"),
+    "index": lambda: IndexSAJoin(
+        "key", "key", WINDOW, universe=RoleUniverse(),
+        left_sid="left", right_sid="right"),
+}
+
+
+@pytest.fixture(scope="module")
+def streams(join_tuples):
+    from repro.workloads.synthetic import join_streams
+    out = {}
+    for sigma in PAPER_SELECTIVITIES:
+        left, right, _, _ = join_streams(
+            join_tuples, tuples_per_sp=10, compatibility=sigma,
+            match_fraction=0.15, seed=23)
+        out[sigma] = (left, right)
+    return out
+
+
+@pytest.mark.parametrize("sigma", PAPER_SELECTIVITIES)
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_fig9(benchmark, streams, variant, sigma):
+    left, right = streams[sigma]
+    make = VARIANTS[variant]
+    timings = benchmark(lambda: drive_join(make(), left, right))
+    benchmark.extra_info["sigma_sp"] = sigma
+    for key in ("total_ms", "join_ms", "sp_maintenance_ms",
+                "tuple_maintenance_ms"):
+        benchmark.extra_info[key] = round(timings[key], 4)
+    benchmark.extra_info["results"] = timings["results"]

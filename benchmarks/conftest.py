@@ -1,0 +1,33 @@
+"""Shared workload fixtures for the benchmark suite.
+
+Workload sizes here are chosen so the full ``pytest benchmarks/
+--benchmark-only`` run finishes in a few minutes on a laptop while
+still showing the paper's effects clearly.  Scale them up with the
+``REPRO_BENCH_SCALE`` environment variable (e.g. ``=5``) for
+publication-quality runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Global workload scale factor.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(n: int) -> int:
+    return max(1, int(n * SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_tuples() -> int:
+    """Tuples per benchmark workload."""
+    return scaled(3000)
+
+
+@pytest.fixture(scope="session")
+def join_tuples() -> int:
+    """Tuples per join-stream (quadratic cost: keep smaller)."""
+    return scaled(800)

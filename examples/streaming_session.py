@@ -1,0 +1,74 @@
+"""Live sessions and incremental policies (paper future work).
+
+Uses the online :class:`StreamingSession` API — elements pushed one at
+a time, results delivered per push — together with *incremental*
+security punctuations: instead of restating the whole policy, the
+patient's device sends deltas ("additionally admit the ER", "drop the
+ER again") that edit the policy in force.
+
+Run::
+
+    python examples/streaming_session.py
+"""
+
+from __future__ import annotations
+
+from repro import DSMS, DataTuple, ScanExpr, SecurityPunctuation
+from repro.stream import StreamSchema
+
+SCHEMA = StreamSchema("HeartRate", ("patient_id", "beats_per_min"),
+                      key="patient_id")
+
+
+def reading(ts: float, bpm: float) -> DataTuple:
+    return DataTuple("HeartRate", 120,
+                     {"patient_id": 120, "beats_per_min": bpm}, ts)
+
+
+def main() -> None:
+    dsms = DSMS()
+    dsms.register_stream(SCHEMA)  # no pre-materialized source: live mode
+
+    dsms.register_query("doctor", ScanExpr("HeartRate"), roles={"D"})
+    dsms.register_query("er", ScanExpr("HeartRate"), roles={"E"})
+
+    er_alerts: list[float] = []
+
+    with dsms.open_session() as session:
+        session.subscribe(
+            "er",
+            lambda el: er_alerts.append(el.values["beats_per_min"])
+            if isinstance(el, DataTuple) else None)
+
+        # Standing policy: the doctor only.
+        session.push("HeartRate",
+                     SecurityPunctuation.grant(["D"], ts=0.0,
+                                               provider="patient"))
+        session.push("HeartRate", reading(1.0, 72.0))
+        session.push("HeartRate", reading(2.0, 78.0))
+
+        # Vitals spike: the device sends a DELTA admitting the ER on
+        # top of the standing policy — no need to restate 'D'.
+        session.push("HeartRate",
+                     SecurityPunctuation.add_roles(["E"], ts=3.0))
+        session.push("HeartRate", reading(4.0, 151.0))
+        session.push("HeartRate", reading(5.0, 149.0))
+
+        # Recovered: the delta retracting the ER.
+        session.push("HeartRate",
+                     SecurityPunctuation.retract_roles(["E"], ts=6.0))
+        session.push("HeartRate", reading(7.0, 80.0))
+
+        doctor_sees = [t.values["beats_per_min"]
+                       for t in session.results("doctor")]
+
+    print(f"Doctor saw every reading:   {doctor_sees}")
+    print(f"ER was alerted only during the emergency: {er_alerts}")
+
+    assert doctor_sees == [72.0, 78.0, 151.0, 149.0, 80.0]
+    assert er_alerts == [151.0, 149.0]
+    print("OK: delta sps widened and narrowed access live, per push.")
+
+
+if __name__ == "__main__":
+    main()

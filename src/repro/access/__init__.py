@@ -1,0 +1,19 @@
+"""Access-control substrate: subjects, rights, RBAC / DAC / MAC models."""
+
+from repro.access.dac import DACModel, user_principal
+from repro.access.mac import DEFAULT_LEVELS, MACModel, level_principal
+from repro.access.model import AccessControlModel, Right, Subject
+from repro.access.rbac import RBACModel, Session
+
+__all__ = [
+    "AccessControlModel",
+    "DACModel",
+    "DEFAULT_LEVELS",
+    "MACModel",
+    "RBACModel",
+    "Right",
+    "Session",
+    "Subject",
+    "level_principal",
+    "user_principal",
+]

@@ -1,0 +1,51 @@
+"""Discretionary access control (DAC) mapped onto security punctuations.
+
+The paper states (Section II.A) that the sp framework is general: any
+access-control model can be implemented with sps.  Under DAC, the data
+owner grants access to individual *users*.  We map each user to a
+per-user pseudo-principal ``user:<id>``; a data provider grants user
+``alice`` access by emitting an sp whose SRP names ``user:alice``.
+The punctuation machinery (intersection of principal sets) is entirely
+unchanged — only the naming convention differs.
+"""
+
+from __future__ import annotations
+
+from repro.access.model import AccessControlModel, Subject
+from repro.errors import AccessControlError
+
+__all__ = ["DACModel", "user_principal"]
+
+_PREFIX = "user:"
+
+
+def user_principal(user_id: str) -> str:
+    """The sp principal name for a DAC user."""
+    if not user_id:
+        raise AccessControlError("user_id must be non-empty")
+    return f"{_PREFIX}{user_id}"
+
+
+class DACModel(AccessControlModel):
+    """DAC: each subject is authorized only under its own principal.
+
+    Grant lists are kept per object namespace by the *data providers*
+    (that is the discretionary part); the DSMS side only needs the
+    subject → principal mapping.
+    """
+
+    sp_model_type = "DAC"
+
+    def __init__(self):
+        self._subjects: dict[str, Subject] = {}
+
+    def add_user(self, subject: Subject | str) -> Subject:
+        if isinstance(subject, str):
+            subject = Subject(subject)
+        self._subjects[subject.user_id] = subject
+        return subject
+
+    def principals_for(self, subject: Subject) -> frozenset[str]:
+        if subject.user_id not in self._subjects:
+            raise AccessControlError(f"unknown user: {subject.user_id!r}")
+        return frozenset({user_principal(subject.user_id)})

@@ -1,0 +1,77 @@
+"""Mandatory access control (MAC) mapped onto security punctuations.
+
+Under MAC (Bell-LaPadula style, simple security property only since
+streams are read-only) a subject with clearance ``c`` may read an
+object classified ``l`` iff ``c >= l``.  Mapping onto sps: an object
+classified at level ``l`` is protected by an sp whose SRP names every
+level from ``l`` upward (``level:secret``, ``level:top_secret``, ...),
+and a subject's principal set is the singleton of its clearance level.
+Principal-set intersection then decides exactly ``c >= l``.
+"""
+
+from __future__ import annotations
+
+from repro.access.model import AccessControlModel, Subject
+from repro.errors import AccessControlError
+
+__all__ = ["MACModel", "DEFAULT_LEVELS", "level_principal"]
+
+#: Classic lattice, lowest first.
+DEFAULT_LEVELS = ("unclassified", "confidential", "secret", "top_secret")
+
+_PREFIX = "level:"
+
+
+def level_principal(level: str) -> str:
+    """The sp principal name for a MAC level."""
+    return f"{_PREFIX}{level}"
+
+
+class MACModel(AccessControlModel):
+    """MAC over a totally ordered set of sensitivity levels."""
+
+    sp_model_type = "MAC"
+
+    def __init__(self, levels: tuple[str, ...] = DEFAULT_LEVELS):
+        if len(set(levels)) != len(levels) or not levels:
+            raise AccessControlError("levels must be non-empty and distinct")
+        self.levels = tuple(levels)
+        self._rank = {level: i for i, level in enumerate(levels)}
+        self._clearances: dict[str, str] = {}
+
+    def _require_level(self, level: str) -> None:
+        if level not in self._rank:
+            raise AccessControlError(f"unknown MAC level: {level!r}")
+
+    def set_clearance(self, subject: Subject | str, level: str) -> None:
+        self._require_level(level)
+        user_id = subject if isinstance(subject, str) else subject.user_id
+        self._clearances[user_id] = level
+
+    def clearance_of(self, user_id: str) -> str:
+        try:
+            return self._clearances[user_id]
+        except KeyError:
+            raise AccessControlError(
+                f"no clearance set for user {user_id!r}"
+            ) from None
+
+    def dominates(self, clearance: str, classification: str) -> bool:
+        """``clearance >= classification`` in the lattice."""
+        self._require_level(clearance)
+        self._require_level(classification)
+        return self._rank[clearance] >= self._rank[classification]
+
+    def principals_for(self, subject: Subject) -> frozenset[str]:
+        return frozenset({level_principal(self.clearance_of(subject.user_id))})
+
+    def principals_for_classification(self, level: str) -> frozenset[str]:
+        """SRP principal names an sp must carry for an object at ``level``.
+
+        Every clearance from ``level`` upward may read the object.
+        """
+        self._require_level(level)
+        rank = self._rank[level]
+        return frozenset(
+            level_principal(name) for name in self.levels[rank:]
+        )

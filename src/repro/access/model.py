@@ -1,0 +1,76 @@
+"""Subjects, objects and rights (paper Section II.A).
+
+An *object* is an entity containing information — streams, tuples and
+tuple attributes in a streaming system.  A *subject* invokes requests
+to access objects; subjects here are the users who register continuous
+queries (query specifiers).  Subjects acquire *rights*; the paper (and
+this reproduction) focuses on the READ right, since stream systems are
+read-only, but the enum carries the extension points the paper
+mentions.
+
+An :class:`AccessControlModel` maps subjects to the *principal names*
+that are matched against sp SRPs.  For RBAC those are role names; for
+DAC they are per-user pseudo-principals; for MAC they are clearance
+levels.  This indirection is what makes the sp mechanism
+model-agnostic: the punctuation framework only ever intersects
+principal sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AccessControlError
+
+__all__ = ["Right", "Subject", "AccessControlModel"]
+
+
+class Right(enum.Enum):
+    """Privileges a subject can hold on an object."""
+
+    READ = "read"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass
+class Subject:
+    """A user known to the DSMS."""
+
+    user_id: str
+    name: str = ""
+    #: Attributes models may use (e.g. MAC clearance level).
+    attributes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise AccessControlError("subject requires a user_id")
+        if not self.name:
+            self.name = self.user_id
+
+    def __hash__(self) -> int:
+        return hash(self.user_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subject):
+            return NotImplemented
+        return self.user_id == other.user_id
+
+
+class AccessControlModel:
+    """Maps subjects to the principal names matched against sp SRPs."""
+
+    #: The model-type string carried in sp SRPs.
+    sp_model_type: str = "GENERIC"
+
+    def principals_for(self, subject: Subject) -> frozenset[str]:
+        """Principal names under which ``subject`` may be authorized."""
+        raise NotImplementedError
+
+    def holds(self, subject: Subject, right: Right) -> bool:
+        """Whether the model lets ``subject`` hold ``right`` at all.
+
+        The base model grants READ only, matching the paper's scope.
+        """
+        return right is Right.READ

@@ -1,0 +1,145 @@
+"""Flat role-based access control (RBAC).
+
+The paper uses flat RBAC (Sandhu et al.) as its running model: query
+specifiers activate their roles when signing into the DSMS, every
+specifier belongs to at least one role, and the role assignment may not
+change while the specifier is registered to receive results of a
+running query.  This module implements exactly that, including the
+registration lock.
+"""
+
+from __future__ import annotations
+
+from repro.access.model import AccessControlModel, Subject
+from repro.core.bitmap import RoleUniverse
+from repro.errors import AccessControlError
+
+__all__ = ["RBACModel", "Session"]
+
+
+class Session:
+    """A sign-in session with a set of activated roles."""
+
+    __slots__ = ("subject", "active_roles")
+
+    def __init__(self, subject: Subject, active_roles: frozenset[str]):
+        self.subject = subject
+        self.active_roles = active_roles
+
+    def __repr__(self) -> str:
+        return (f"Session({self.subject.user_id!r}, "
+                f"roles={sorted(self.active_roles)})")
+
+
+class RBACModel(AccessControlModel):
+    """Flat RBAC: users, roles, user-role assignment, sessions."""
+
+    sp_model_type = "RBAC"
+
+    def __init__(self, universe: RoleUniverse | None = None):
+        self.universe = universe if universe is not None else RoleUniverse()
+        self._assignments: dict[str, set[str]] = {}
+        self._subjects: dict[str, Subject] = {}
+        self._locked: dict[str, int] = {}
+        self._sessions: dict[str, Session] = {}
+
+    # -- administration ------------------------------------------------------
+    def add_role(self, role: str) -> None:
+        """Register a role in the system's role universe."""
+        self.universe.register(role)
+
+    def add_user(self, subject: Subject | str) -> Subject:
+        if isinstance(subject, str):
+            subject = Subject(subject)
+        self._subjects[subject.user_id] = subject
+        self._assignments.setdefault(subject.user_id, set())
+        return subject
+
+    def assign_role(self, user_id: str, role: str) -> None:
+        """Assign ``role`` to a user.
+
+        Raises if the user is locked (registered to receive results of
+        a currently executing query) — the paper forbids assignment
+        changes in that state.
+        """
+        self._require_unlocked(user_id)
+        self._require_user(user_id)
+        if role not in self.universe:
+            raise AccessControlError(f"unknown role: {role!r}")
+        self._assignments[user_id].add(role)
+
+    def revoke_role(self, user_id: str, role: str) -> None:
+        self._require_unlocked(user_id)
+        self._require_user(user_id)
+        self._assignments[user_id].discard(role)
+
+    def roles_of(self, user_id: str) -> frozenset[str]:
+        self._require_user(user_id)
+        return frozenset(self._assignments[user_id])
+
+    def _require_user(self, user_id: str) -> None:
+        if user_id not in self._subjects:
+            raise AccessControlError(f"unknown user: {user_id!r}")
+
+    def _require_unlocked(self, user_id: str) -> None:
+        if self._locked.get(user_id, 0) > 0:
+            raise AccessControlError(
+                f"user {user_id!r} is registered to receive results of a "
+                "running query; role assignment cannot change"
+            )
+
+    # -- sessions --------------------------------------------------------------
+    def sign_in(self, user_id: str,
+                roles: frozenset[str] | None = None) -> Session:
+        """Activate roles for a user (all assigned roles by default).
+
+        Every query specifier must belong to at least one role.
+        """
+        self._require_user(user_id)
+        assigned = frozenset(self._assignments[user_id])
+        active = assigned if roles is None else frozenset(roles)
+        if not active:
+            raise AccessControlError(
+                f"user {user_id!r} must activate at least one role"
+            )
+        if not active <= assigned:
+            raise AccessControlError(
+                f"user {user_id!r} cannot activate unassigned roles "
+                f"{sorted(active - assigned)}"
+            )
+        session = Session(self._subjects[user_id], active)
+        self._sessions[user_id] = session
+        return session
+
+    def sign_out(self, user_id: str) -> None:
+        if self._locked.get(user_id, 0) > 0:
+            raise AccessControlError(
+                f"user {user_id!r} has running queries; deregister first"
+            )
+        self._sessions.pop(user_id, None)
+
+    def session_of(self, user_id: str) -> Session | None:
+        return self._sessions.get(user_id)
+
+    # -- query-registration locking -----------------------------------------
+    def lock(self, user_id: str) -> None:
+        """Mark a user as receiving results of one more running query."""
+        self._require_user(user_id)
+        self._locked[user_id] = self._locked.get(user_id, 0) + 1
+
+    def unlock(self, user_id: str) -> None:
+        count = self._locked.get(user_id, 0)
+        if count <= 0:
+            raise AccessControlError(f"user {user_id!r} is not locked")
+        self._locked[user_id] = count - 1
+
+    def is_locked(self, user_id: str) -> bool:
+        return self._locked.get(user_id, 0) > 0
+
+    # -- AccessControlModel -----------------------------------------------------
+    def principals_for(self, subject: Subject) -> frozenset[str]:
+        """Active roles of a signed-in subject, else assigned roles."""
+        session = self._sessions.get(subject.user_id)
+        if session is not None:
+            return session.active_roles
+        return self.roles_of(subject.user_id)

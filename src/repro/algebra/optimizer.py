@@ -1,0 +1,201 @@
+"""Security-aware query optimization (Section VI).
+
+The optimizer rewrites logical plans with the Table II equivalence
+rules, guided by the Section VI.A cost model:
+
+* **SS interleaving** — ψ operators are pushed down (or up) to minimize
+  intermediate state sizes and the number of streaming sps reaching
+  expensive stateful operators (join, δ, G), exactly like predicate
+  push-down.
+* **SS splitting/merging** — conjunctive SS predicates are split so the
+  more selective conjunct filters early, or merged when one state is
+  cheaper than stacked operators; splitting/merging also brackets
+  shared subplans in multi-query optimization (merge at the beginning
+  of the shared fragment, split at the end).
+
+Two search strategies are provided: :meth:`Optimizer.optimize` runs a
+greedy hill-climb over the one-step rewrite neighbourhood (fast, the
+default), and :meth:`Optimizer.optimize_exhaustive` explores the full
+rewrite closure up to a node budget (used by the tests to validate the
+greedy result on small plans).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.cost import CostModel
+from repro.algebra.expressions import LogicalExpr, ShieldExpr, walk
+from repro.algebra.rules import RewriteContext, equivalent_forms
+
+__all__ = ["Optimizer", "OptimizationResult", "WorkloadResult"]
+
+
+class WorkloadResult:
+    """Outcome of a multi-query (workload) optimization."""
+
+    __slots__ = ("plans", "cost", "independent_cost", "unshared_cost")
+
+    def __init__(self, plans: list, cost: float, independent_cost: float,
+                 unshared_cost: float):
+        #: Chosen plan per query, same order as the input.
+        self.plans = plans
+        #: Workload cost of the chosen combination (sharing counted).
+        self.cost = cost
+        #: Workload cost had every query been optimized in isolation.
+        self.independent_cost = independent_cost
+        #: Sum of isolated plan costs ignoring sharing entirely.
+        self.unshared_cost = unshared_cost
+
+    def __repr__(self) -> str:
+        return (f"WorkloadResult(cost={self.cost:.2f}, "
+                f"independent={self.independent_cost:.2f})")
+
+
+class OptimizationResult:
+    """Outcome of one optimization run."""
+
+    __slots__ = ("plan", "cost", "initial_cost", "steps", "explored")
+
+    def __init__(self, plan: LogicalExpr, cost: float, initial_cost: float,
+                 steps: int, explored: int):
+        self.plan = plan
+        self.cost = cost
+        self.initial_cost = initial_cost
+        self.steps = steps
+        self.explored = explored
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction achieved (0.0-1.0)."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return 1.0 - self.cost / self.initial_cost
+
+    def __repr__(self) -> str:
+        return (f"OptimizationResult(cost={self.cost:.2f}, "
+                f"initial={self.initial_cost:.2f}, steps={self.steps})")
+
+
+class Optimizer:
+    """Rule- and cost-based security-aware plan optimizer."""
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 context: RewriteContext | None = None):
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.context = context if context is not None else RewriteContext()
+
+    # -- greedy hill-climb ----------------------------------------------------
+    def optimize(self, plan: LogicalExpr,
+                 max_steps: int = 32) -> OptimizationResult:
+        """Greedy descent: repeatedly take the cheapest one-step rewrite."""
+        current = plan
+        current_cost = self.cost_model.cost(current).total
+        initial_cost = current_cost
+        steps = 0
+        explored = 0
+        for _ in range(max_steps):
+            candidates = equivalent_forms(current, self.context)
+            explored += len(candidates)
+            best = None
+            best_cost = current_cost
+            for candidate in candidates:
+                cost = self.cost_model.cost(candidate).total
+                if cost < best_cost - 1e-12:
+                    best, best_cost = candidate, cost
+            if best is None:
+                break
+            current, current_cost = best, best_cost
+            steps += 1
+        return OptimizationResult(current, current_cost, initial_cost,
+                                  steps, explored)
+
+    # -- exhaustive closure -------------------------------------------------------
+    def optimize_exhaustive(self, plan: LogicalExpr,
+                            budget: int = 2000) -> OptimizationResult:
+        """Explore the rewrite closure (BFS) up to ``budget`` plans."""
+        initial_cost = self.cost_model.cost(plan).total
+        seen: set[LogicalExpr] = {plan}
+        frontier = [plan]
+        best, best_cost = plan, initial_cost
+        explored = 0
+        while frontier and explored < budget:
+            expr = frontier.pop()
+            for candidate in equivalent_forms(expr, self.context):
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                explored += 1
+                cost = self.cost_model.cost(candidate).total
+                if cost < best_cost - 1e-12:
+                    best, best_cost = candidate, cost
+                frontier.append(candidate)
+                if explored >= budget:
+                    break
+        return OptimizationResult(best, best_cost, initial_cost,
+                                  steps=-1, explored=explored)
+
+    # -- multi-query optimization (Section VI.C) ----------------------------
+    def optimize_workload(
+        self, plans: list[LogicalExpr],
+    ) -> "WorkloadResult":
+        """Jointly optimize a workload of queries.
+
+        SS splitting/merging enables multi-query optimization: keeping
+        per-query shields *above* a shared fragment lets all queries
+        share one copy of the fragment's operators, while pushing the
+        shields down duplicates the fragment but filters earlier.  For
+        each query this method considers both its original (sharing-
+        friendly) form and its individually optimized form, and picks
+        the combination minimizing the *workload* cost — in which
+        structurally shared subplans are paid for once.
+        """
+        individual = [self.optimize(plan).plan for plan in plans]
+        # Sharing benefits only materialize when *several* queries keep
+        # the shared form, so single swaps cannot climb out of either
+        # extreme; evaluate both extremes and descend from the better.
+        all_original_cost = self.cost_model.workload_cost(plans)
+        all_individual_cost = self.cost_model.workload_cost(individual)
+        if all_original_cost < all_individual_cost:
+            chosen = list(plans)
+            best_cost = all_original_cost
+        else:
+            chosen = list(individual)
+            best_cost = all_individual_cost
+        improved = True
+        while improved:
+            improved = False
+            for index, original in enumerate(plans):
+                for candidate in (original, individual[index]):
+                    if candidate == chosen[index]:
+                        continue
+                    trial = list(chosen)
+                    trial[index] = candidate
+                    trial_cost = self.cost_model.workload_cost(trial)
+                    if trial_cost < best_cost - 1e-12:
+                        chosen, best_cost = trial, trial_cost
+                        improved = True
+        return WorkloadResult(
+            plans=chosen,
+            cost=best_cost,
+            independent_cost=self.cost_model.workload_cost(individual),
+            unshared_cost=sum(self.cost_model.cost(p).total
+                              for p in individual),
+        )
+
+    # -- diagnostics ----------------------------------------------------------
+    @staticmethod
+    def shield_depths(plan: LogicalExpr) -> list[int]:
+        """Depth of every shield in the plan (0 = root); for tests."""
+        depths: list[int] = []
+
+        def visit(expr: LogicalExpr, depth: int) -> None:
+            if isinstance(expr, ShieldExpr):
+                depths.append(depth)
+            for child in expr.children():
+                visit(child, depth + 1)
+
+        visit(plan, 0)
+        return depths
+
+    @staticmethod
+    def operator_count(plan: LogicalExpr) -> int:
+        return sum(1 for _ in walk(plan))

@@ -1,0 +1,165 @@
+"""Stream statistics feeding the security-aware cost model.
+
+The cost model of Section VI.A prices operators per unit time from
+input tuple rates (λ), sp rates (λsp), window sizes (N = W·λ) and
+selectivities.  :class:`StreamStatistics` describes one input stream;
+:class:`StatisticsCatalog` maps stream ids to statistics and supplies
+defaults; :class:`DerivedStats` is the (λ, λsp, per-tuple policy-size)
+triple propagated bottom-up through a logical plan.
+
+Selectivities:
+
+* ``condition_selectivity`` — fraction of tuples passing a selection
+  (per-condition overrides, default 0.5);
+* ``role_selectivity(roles)`` — the *security selectivity*: fraction of
+  tuples whose policy intersects the given role set.  The default
+  model assumes policies draw roles uniformly from the universe, so a
+  predicate covering k of R roles sees roughly
+  ``1 - (1 - k/R)^policy_size``;
+* ``sp_compatibility`` — σsp of the index SAJoin: fraction of segment
+  pairs with compatible policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizerError
+
+__all__ = ["StreamStatistics", "DerivedStats", "StatisticsCatalog"]
+
+
+@dataclass
+class StreamStatistics:
+    """Observed/assumed statistics of one input stream."""
+
+    #: Tuple arrival rate λ (tuples per time unit).
+    tuple_rate: float = 100.0
+    #: Sp arrival rate λsp (sps per time unit).
+    sp_rate: float = 10.0
+    #: Average number of roles per sp (NRsp).
+    roles_per_sp: float = 2.0
+    #: Total distinct roles appearing in this stream's policies.
+    role_universe_size: int = 10
+    #: Number of distinct values of the join/group attribute (for join
+    #: and duplicate-elimination selectivity).
+    distinct_values: int = 100
+
+    def role_selectivity(self, roles: frozenset[str] | int) -> float:
+        """Fraction of tuples whose policy intersects ``roles``."""
+        k = roles if isinstance(roles, int) else len(roles)
+        total = max(self.role_universe_size, 1)
+        k = min(k, total)
+        if k <= 0:
+            return 0.0
+        miss_one = 1.0 - k / total
+        return 1.0 - miss_one ** max(self.roles_per_sp, 1.0)
+
+
+@dataclass
+class DerivedStats:
+    """Rates flowing through one edge of a logical plan."""
+
+    tuple_rate: float
+    sp_rate: float
+    roles_per_sp: float
+    role_universe_size: int
+    distinct_values: int
+
+    def scaled(self, tuple_factor: float,
+               sp_factor: float | None = None) -> "DerivedStats":
+        if sp_factor is None:
+            sp_factor = tuple_factor
+        return DerivedStats(
+            tuple_rate=self.tuple_rate * tuple_factor,
+            sp_rate=self.sp_rate * sp_factor,
+            roles_per_sp=self.roles_per_sp,
+            role_universe_size=self.role_universe_size,
+            distinct_values=self.distinct_values,
+        )
+
+
+@dataclass
+class StatisticsCatalog:
+    """Statistics for every registered stream, plus global knobs."""
+
+    streams: dict[str, StreamStatistics] = field(default_factory=dict)
+    default: StreamStatistics = field(default_factory=StreamStatistics)
+    #: Default selectivity of a selection condition.
+    condition_selectivity: float = 0.5
+    #: Join-value match probability for a random pair.
+    join_selectivity: float | None = None
+    #: σsp — fraction of opposite-window segments policy-compatible
+    #: with a probing tuple (index SAJoin).
+    sp_compatibility: float = 0.5
+    #: Group-by aggregate recomputation cost C.
+    aggregate_cost: float = 1.0
+
+    def for_stream(self, stream_id: str) -> StreamStatistics:
+        return self.streams.get(stream_id, self.default)
+
+    def set_stream(self, stream_id: str, stats: StreamStatistics) -> None:
+        if stats.tuple_rate < 0 or stats.sp_rate < 0:
+            raise OptimizerError("rates must be non-negative")
+        self.streams[stream_id] = stats
+
+    def base_stats(self, stream_id: str) -> DerivedStats:
+        stats = self.for_stream(stream_id)
+        return DerivedStats(
+            tuple_rate=stats.tuple_rate,
+            sp_rate=stats.sp_rate,
+            roles_per_sp=stats.roles_per_sp,
+            role_universe_size=stats.role_universe_size,
+            distinct_values=stats.distinct_values,
+        )
+
+    def effective_join_selectivity(self, distinct_values: int) -> float:
+        if self.join_selectivity is not None:
+            return self.join_selectivity
+        return 1.0 / max(distinct_values, 1)
+
+    def observe(self, stream_id: str, elements,
+                value_attribute: str | None = None) -> StreamStatistics:
+        """Derive statistics from an observed stream sample.
+
+        Computes λ, λsp, roles-per-sp, role-universe size and distinct
+        values over a finite element sample and registers the result
+        for ``stream_id`` — this is how the optimizer's estimates stay
+        anchored to the actual workload rather than to defaults.
+        """
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.stream.tuples import DataTuple
+
+        n_tuples = n_sps = 0
+        role_count = 0
+        roles: set[str] = set()
+        values: set = set()
+        first_ts = last_ts = None
+        for element in elements:
+            ts = element.ts
+            first_ts = ts if first_ts is None else first_ts
+            last_ts = ts
+            if isinstance(element, SecurityPunctuation):
+                n_sps += 1
+                concrete = element.srp.concrete_roles()
+                if concrete:
+                    role_count += len(concrete)
+                    roles |= concrete
+            elif isinstance(element, DataTuple):
+                n_tuples += 1
+                if value_attribute is not None:
+                    values.add(element.values.get(value_attribute))
+                else:
+                    values.add(element.tid)
+        span = (last_ts - first_ts) if (first_ts is not None
+                                        and last_ts is not None
+                                        and last_ts > first_ts) else 1.0
+        stats = StreamStatistics(
+            tuple_rate=n_tuples / span,
+            sp_rate=n_sps / span,
+            roles_per_sp=(role_count / n_sps) if n_sps else 1.0,
+            role_universe_size=max(len(roles), 1),
+            distinct_values=max(len(values), 1),
+        )
+        self.set_stream(stream_id, stats)
+        return stats

@@ -1,0 +1,13 @@
+"""Baseline access-control enforcement mechanisms (Section I.C)."""
+
+from repro.baselines.store_and_probe import PolicyTable, StoreAndProbeEnforcer
+from repro.baselines.tuple_embedded import (PolicyTuple, TupleEmbeddedEnforcer,
+                                            embed_policies)
+
+__all__ = [
+    "PolicyTable",
+    "PolicyTuple",
+    "StoreAndProbeEnforcer",
+    "TupleEmbeddedEnforcer",
+    "embed_policies",
+]

@@ -1,0 +1,89 @@
+"""The tuple-embedded baseline (Section I.C, "Streaming: tuple-embedded").
+
+Security restrictions are embedded *inside* every data tuple as extra
+metadata fields (like tuple lineage in Eddies).  Tuples that share a
+policy each carry their own redundant copy, and the query processor
+checks every tuple individually — the storage and processing redundancy
+the sp model eliminates.  A bitmap encoding of the embedded policy is
+supported (the improvement the paper concedes to this baseline); it
+compresses the per-tuple copy but does not remove the redundancy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.bitmap import (AbstractRoleSet, RoleBitmap, RoleSet,
+                               RoleUniverse)
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["PolicyTuple", "embed_policies", "TupleEmbeddedEnforcer"]
+
+
+class PolicyTuple:
+    """A data tuple with its embedded access-control policy."""
+
+    __slots__ = ("tuple", "policy")
+
+    def __init__(self, item: DataTuple, policy: AbstractRoleSet):
+        self.tuple = item
+        self.policy = policy
+
+    def __repr__(self) -> str:
+        return f"PolicyTuple({self.tuple!r}, roles={sorted(self.policy.names())})"
+
+
+def embed_policies(elements: Iterable[StreamElement], *,
+                   universe: RoleUniverse | None = None,
+                   bitmap: bool = False) -> Iterator[PolicyTuple]:
+    """Convert a punctuated stream into a tuple-embedded stream.
+
+    This models what the data sources would emit under this
+    architecture: the punctuations disappear and every tuple carries a
+    private copy of the governing policy.  With ``bitmap=True`` the
+    embedded copy is a role bitmap over ``universe``.
+    """
+    if bitmap and universe is None:
+        universe = RoleUniverse()
+    current_roles: frozenset[str] = frozenset()
+    current_ts = float("-inf")
+    batch_ts: float | None = None
+    for element in elements:
+        if isinstance(element, SecurityPunctuation):
+            roles = element.roles()
+            if batch_ts is not None and element.ts == batch_ts:
+                current_roles = current_roles | roles  # same batch: union
+            else:
+                current_roles = roles  # new policy: override
+                batch_ts = element.ts
+            current_ts = element.ts
+            continue
+        batch_ts = None
+        if bitmap:
+            policy: AbstractRoleSet = RoleBitmap(universe, current_roles)
+        else:
+            # A fresh private copy per tuple — the redundancy under test.
+            policy = RoleSet(set(current_roles))
+        yield PolicyTuple(element, policy)
+
+
+class TupleEmbeddedEnforcer:
+    """Per-tuple access control on an embedded-policy stream."""
+
+    def __init__(self, roles: Iterable[str] | AbstractRoleSet):
+        if not isinstance(roles, AbstractRoleSet):
+            roles = RoleSet(roles)
+        self.roles = roles
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.checks = 0
+
+    def ingest(self, stream: Iterable[PolicyTuple]) -> Iterator[DataTuple]:
+        for policy_tuple in stream:
+            self.tuples_in += 1
+            self.checks += 1
+            if policy_tuple.policy.intersects(self.roles):
+                self.tuples_out += 1
+                yield policy_tuple.tuple

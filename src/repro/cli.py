@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments [--quick]``
+    Regenerate every figure of the paper's Section VII evaluation.
+``explain <cql> [--roles R1,R2] [--optimize]``
+    Parse a CQL SELECT, shield it for the given roles, optionally
+    optimize, and print the (cost-annotated) plan.
+``sp <insert-sp-statement>``
+    Parse an ``INSERT SP`` statement and print the resulting
+    punctuation in the paper's alphanumeric format.
+``wire <file>``
+    Validate a JSON-lines stream file: element counts, ordering,
+    sp:tuple ratio.
+``shell``
+    Interactive DSMS console over a live session (see
+    :mod:`repro.shell`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(0.2 if args.quick else 1.0)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.algebra.cost import CostModel
+    from repro.algebra.explain import explain
+    from repro.algebra.expressions import ShieldExpr
+    from repro.algebra.optimizer import Optimizer
+    from repro.algebra.rules import RewriteContext
+    from repro.cql.translator import compile_statement
+    from repro.core.punctuation import SecurityPunctuation
+
+    expr = compile_statement(args.statement)
+    if isinstance(expr, SecurityPunctuation):
+        print("error: 'explain' takes a SELECT statement; "
+              "use the 'sp' command for INSERT SP", file=sys.stderr)
+        return 2
+    if args.roles:
+        roles = frozenset(r.strip() for r in args.roles.split(",")
+                          if r.strip())
+        expr = ShieldExpr(expr, roles)
+    cost_model = CostModel()
+    if args.optimize:
+        from repro.algebra.expressions import ScanExpr, walk
+        streams = frozenset(node.stream_id for node in walk(expr)
+                            if isinstance(node, ScanExpr))
+        optimizer = Optimizer(cost_model,
+                              RewriteContext(policy_streams=streams))
+        result = optimizer.optimize(expr)
+        print(f"-- optimized: {result.initial_cost:,.0f} -> "
+              f"{result.cost:,.0f} est. cost "
+              f"({result.improvement:.0%} cheaper)\n")
+        expr = result.plan
+    print(explain(expr, cost_model))
+    return 0
+
+
+def _cmd_sp(args: argparse.Namespace) -> int:
+    from repro.cql.translator import compile_statement
+    from repro.core.punctuation import SecurityPunctuation
+
+    sp = compile_statement(args.statement, provider=args.provider)
+    if not isinstance(sp, SecurityPunctuation):
+        print("error: 'sp' takes an INSERT SP statement",
+              file=sys.stderr)
+        return 2
+    print(sp.to_text())
+    return 0
+
+
+def _cmd_wire(args: argparse.Namespace) -> int:
+    from repro.stream.wire import load_stream
+
+    n_tuples = n_sps = 0
+    last_ts = float("-inf")
+    ordered = True
+    with open(args.path, encoding="utf-8") as fp:
+        for element in load_stream(fp):
+            if element.ts < last_ts:
+                ordered = False
+            last_ts = element.ts
+            if hasattr(element, "srp"):
+                n_sps += 1
+            else:
+                n_tuples += 1
+    print(f"tuples:   {n_tuples}")
+    print(f"sps:      {n_sps}")
+    if n_sps:
+        print(f"ratio:    1/{n_tuples / n_sps:.1f}")
+    print(f"ordered:  {'yes' if ordered else 'NO'}")
+    return 0 if ordered else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Security-punctuation framework (ICDE 2008 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the Section VII figures")
+    experiments.add_argument("--quick", action="store_true",
+                             help="CI-sized workloads")
+    experiments.set_defaults(fn=_cmd_experiments)
+
+    explain_cmd = sub.add_parser("explain",
+                                 help="show the plan of a CQL SELECT")
+    explain_cmd.add_argument("statement")
+    explain_cmd.add_argument("--roles", default="",
+                             help="comma-separated query roles")
+    explain_cmd.add_argument("--optimize", action="store_true")
+    explain_cmd.set_defaults(fn=_cmd_explain)
+
+    sp_cmd = sub.add_parser("sp", help="translate an INSERT SP statement")
+    sp_cmd.add_argument("statement")
+    sp_cmd.add_argument("--provider", default=None)
+    sp_cmd.set_defaults(fn=_cmd_sp)
+
+    wire = sub.add_parser("wire", help="validate a wire-format stream file")
+    wire.add_argument("path")
+    wire.set_defaults(fn=_cmd_wire)
+
+    shell = sub.add_parser("shell",
+                           help="interactive DSMS console (CQL + PUSH)")
+    shell.set_defaults(fn=_cmd_shell)
+    return parser
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from repro.shell import run_shell
+
+    return run_shell()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,461 @@
+"""Security punctuations (sps).
+
+A security punctuation (paper Definition 3.1) is meta-data embedded in a
+data stream defining an access-control policy on a set of objects:
+
+    < DDP | SRP | Sign | Immutable | ts >
+
+* **DDP** (Data Description Part): which objects the policy applies to,
+  expressed as patterns over stream ids, tuple ids and attribute names
+  (``es``, ``et``, ``ea``).
+* **SRP** (Security Restriction Part): the access-control model type
+  (RBAC by default) and the pattern over subjects (roles) authorized.
+* **Sign**: ``+`` grants, ``-`` denies (Bertino-style negative
+  authorizations).
+* **Immutable**: if true, server-side policies may not refine this sp.
+* **ts**: when the policy goes into effect.  All sps of one policy
+  (an *sp-batch*) share a timestamp; a later policy on the same objects
+  overrides an earlier one.
+
+Sps always *precede* the tuples they protect; the tuples between two
+consecutive sp-batches form an *s-punctuated segment* sharing the
+preceding policy.  If no sp authorizes access to an object,
+denial-by-default applies.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.patterns import ANY, Pattern, one_of, parse_pattern
+from repro.errors import PunctuationError
+
+__all__ = [
+    "Sign",
+    "Granularity",
+    "DataDescription",
+    "SecurityRestriction",
+    "SecurityPunctuation",
+    "SPBatch",
+    "sp_for_roles",
+    "RBAC_MODEL",
+]
+
+#: The access-control model used throughout the paper's examples.
+RBAC_MODEL = "RBAC"
+
+_sp_counter = itertools.count(1)
+
+
+class Sign(enum.Enum):
+    """Whether an sp grants (``+``) or denies (``-``) access."""
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+
+    @classmethod
+    def parse(cls, text: str) -> "Sign":
+        text = text.strip().lower()
+        if text in ("+", "positive", "grant"):
+            return cls.POSITIVE
+        if text in ("-", "negative", "deny"):
+            return cls.NEGATIVE
+        raise PunctuationError(f"invalid sign: {text!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def _split_ddp_fields(text: str) -> list[str]:
+    """Split DDP text on commas outside braces/brackets/regex bodies."""
+    parts: list[str] = []
+    current: list[str] = []
+    depth = 0
+    in_regex = False
+    for ch in text:
+        if in_regex:
+            current.append(ch)
+            if ch == "/":
+                in_regex = False
+            continue
+        if ch == "/" and not "".join(current).strip():
+            in_regex = True
+            current.append(ch)
+            continue
+        if ch in "{[":
+            depth += 1
+        elif ch in "}]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+class Granularity(enum.Enum):
+    """Object granularity an sp's DDP addresses (Section III.A)."""
+
+    STREAM = "stream"
+    TUPLE = "tuple"
+    ATTRIBUTE = "attribute"
+
+
+@dataclass(frozen=True)
+class DataDescription:
+    """The DDP: patterns over streams (es), tuples (et), attributes (ea)."""
+
+    stream: Pattern = ANY
+    tuple_id: Pattern = ANY
+    attribute: Pattern = ANY
+
+    @classmethod
+    def parse(cls, text: str) -> "DataDescription":
+        """Parse ``"es, et, ea"`` with trailing parts defaulting to ``*``.
+
+        Commas inside ``{...}`` set patterns or ``/.../`` regex bodies
+        do not separate DDP fields.
+        """
+        parts = [p.strip() for p in _split_ddp_fields(text)]
+        if not 1 <= len(parts) <= 3:
+            raise PunctuationError(f"DDP must have 1-3 parts: {text!r}")
+        while len(parts) < 3:
+            parts.append("*")
+        return cls(
+            stream=parse_pattern(parts[0]),
+            tuple_id=parse_pattern(parts[1]),
+            attribute=parse_pattern(parts[2]),
+        )
+
+    def granularity(self) -> Granularity:
+        """Finest granularity this DDP constrains."""
+        if not self.attribute.is_wildcard():
+            return Granularity.ATTRIBUTE
+        if not self.tuple_id.is_wildcard():
+            return Granularity.TUPLE
+        return Granularity.STREAM
+
+    def describes(self, stream_id: object, tuple_id: object = None,
+                  attribute: object = None) -> bool:
+        """Whether the object identified by the arguments is covered.
+
+        ``tuple_id``/``attribute`` of ``None`` mean "the whole stream" /
+        "the whole tuple" and only match wildcard patterns at that level
+        when asking about a coarser object than the DDP constrains.
+        """
+        if not self.stream.matches(stream_id):
+            return False
+        if tuple_id is None:
+            return self.tuple_id.is_wildcard() and self.attribute.is_wildcard()
+        if not self.tuple_id.matches(tuple_id):
+            return False
+        if attribute is None:
+            return True
+        return self.attribute.matches(attribute)
+
+    def spec(self) -> str:
+        return ", ".join(
+            (self.stream.spec(), self.tuple_id.spec(), self.attribute.spec())
+        )
+
+
+@dataclass(frozen=True)
+class SecurityRestriction:
+    """The SRP: access-control model type plus authorized-subject pattern."""
+
+    roles: Pattern
+    model_type: str = RBAC_MODEL
+
+    @classmethod
+    def for_roles(cls, roles: Iterable[str] | str,
+                  model_type: str = RBAC_MODEL) -> "SecurityRestriction":
+        """SRP authorizing an explicit set of roles."""
+        if isinstance(roles, str):
+            roles = (roles,)
+        roles = list(roles)
+        if not roles:
+            raise PunctuationError("SRP requires at least one role")
+        srp = cls(roles=one_of(roles), model_type=model_type)
+        # The roles are known here; memoize so the hot path never
+        # re-enumerates the pattern.
+        object.__setattr__(srp, "_concrete_cache",
+                           frozenset(str(r) for r in roles))
+        return srp
+
+    @classmethod
+    def parse(cls, text: str, model_type: str = RBAC_MODEL) -> "SecurityRestriction":
+        return cls(roles=parse_pattern(text), model_type=model_type)
+
+    def concrete_roles(self) -> frozenset[str] | None:
+        """Explicit role names, or ``None`` if the pattern is open-ended.
+
+        Literal / set / union-of-those patterns enumerate their roles;
+        wildcards, ranges and regexes require resolution against a role
+        universe (see :meth:`resolve`).
+        """
+        cached = getattr(self, "_concrete_cache", None)
+        if cached is not None:
+            return cached
+        return _enumerate_pattern(self.roles)
+
+    def resolve(self, all_roles: Iterable[str]) -> frozenset[str]:
+        """``eval(R, er)``: the authorized subset of ``all_roles``."""
+        concrete = self.concrete_roles()
+        if concrete is not None:
+            return concrete
+        return frozenset(self.roles.eval(all_roles))
+
+    def authorizes(self, role: str) -> bool:
+        return self.roles.matches(role)
+
+    def spec(self) -> str:
+        return self.roles.spec()
+
+
+def _enumerate_pattern(pattern: Pattern) -> frozenset[str] | None:
+    from repro.core.patterns import (CompositePattern, LiteralPattern,
+                                     SetPattern)
+
+    if isinstance(pattern, LiteralPattern):
+        return frozenset({str(pattern.value)})
+    if isinstance(pattern, SetPattern):
+        return frozenset(str(v) for v in pattern.values)
+    if isinstance(pattern, CompositePattern):
+        out: set[str] = set()
+        for part in pattern.parts:
+            sub = _enumerate_pattern(part)
+            if sub is None:
+                return None
+            out |= sub
+        return frozenset(out)
+    return None
+
+
+@dataclass(frozen=True)
+class SecurityPunctuation:
+    """One security punctuation: ``<DDP | SRP | Sign | Immutable | ts>``.
+
+    The ``incremental`` flag implements the paper's future-work item
+    *incremental access control policies*: an incremental sp-batch does
+    not override the current policy but *edits* it — positive sps add
+    their roles to the grants in force, negative sps retract theirs —
+    so a device can say "additionally admit the ER" or "drop the
+    nurse" without restating the whole policy.
+    """
+
+    ddp: DataDescription
+    srp: SecurityRestriction
+    ts: float
+    sign: Sign = Sign.POSITIVE
+    immutable: bool = False
+    #: Originating data provider, used by the SP Analyzer's combination
+    #: semantics (union within one provider, intersect across
+    #: provider/server).  ``None`` means server-specified.
+    provider: str | None = None
+    #: Delta semantics: edit the current policy instead of replacing it.
+    incremental: bool = False
+    sp_id: int = field(default_factory=lambda: next(_sp_counter), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.ts is None:
+            raise PunctuationError("sp requires a timestamp")
+
+    # -- convenience constructors -------------------------------------
+    @classmethod
+    def grant(cls, roles: Iterable[str] | str, ts: float, *,
+              stream: Pattern = ANY, tuple_id: Pattern = ANY,
+              attribute: Pattern = ANY, immutable: bool = False,
+              provider: str | None = None,
+              incremental: bool = False) -> "SecurityPunctuation":
+        """Positive sp authorizing ``roles`` for the described objects."""
+        return cls(
+            ddp=DataDescription(stream=stream, tuple_id=tuple_id,
+                                attribute=attribute),
+            srp=SecurityRestriction.for_roles(roles),
+            sign=Sign.POSITIVE,
+            immutable=immutable,
+            ts=ts,
+            provider=provider,
+            incremental=incremental,
+        )
+
+    @classmethod
+    def deny(cls, roles: Iterable[str] | str, ts: float, *,
+             stream: Pattern = ANY, tuple_id: Pattern = ANY,
+             attribute: Pattern = ANY, immutable: bool = False,
+             provider: str | None = None,
+             incremental: bool = False) -> "SecurityPunctuation":
+        """Negative sp denying ``roles`` access to the described objects."""
+        sp = cls.grant(roles, ts, stream=stream, tuple_id=tuple_id,
+                       attribute=attribute, immutable=immutable,
+                       provider=provider, incremental=incremental)
+        return sp.with_sign(Sign.NEGATIVE)
+
+    @classmethod
+    def add_roles(cls, roles: Iterable[str] | str, ts: float,
+                  **kwargs) -> "SecurityPunctuation":
+        """Incremental grant: *additionally* admit ``roles``."""
+        return cls.grant(roles, ts, incremental=True, **kwargs)
+
+    @classmethod
+    def retract_roles(cls, roles: Iterable[str] | str, ts: float,
+                      **kwargs) -> "SecurityPunctuation":
+        """Incremental denial: remove ``roles`` from the current policy."""
+        return cls.deny(roles, ts, incremental=True, **kwargs)
+
+    def with_sign(self, sign: Sign) -> "SecurityPunctuation":
+        return SecurityPunctuation(
+            ddp=self.ddp, srp=self.srp, ts=self.ts, sign=sign,
+            immutable=self.immutable, provider=self.provider,
+            incremental=self.incremental,
+        )
+
+    def with_ts(self, ts: float) -> "SecurityPunctuation":
+        return SecurityPunctuation(
+            ddp=self.ddp, srp=self.srp, ts=ts, sign=self.sign,
+            immutable=self.immutable, provider=self.provider,
+            incremental=self.incremental,
+        )
+
+    def with_roles(self, roles: Iterable[str] | str) -> "SecurityPunctuation":
+        return SecurityPunctuation(
+            ddp=self.ddp, srp=SecurityRestriction.for_roles(roles),
+            ts=self.ts, sign=self.sign, immutable=self.immutable,
+            provider=self.provider, incremental=self.incremental,
+        )
+
+    # -- predicates -----------------------------------------------------
+    @property
+    def is_positive(self) -> bool:
+        return self.sign is Sign.POSITIVE
+
+    def granularity(self) -> Granularity:
+        return self.ddp.granularity()
+
+    def describes(self, stream_id: object, tuple_id: object = None,
+                  attribute: object = None) -> bool:
+        """Whether this sp's DDP covers the given object."""
+        return self.ddp.describes(stream_id, tuple_id, attribute)
+
+    def roles(self) -> frozenset[str]:
+        """Explicit role names of the SRP (memoized per instance).
+
+        Raises :class:`PunctuationError` for open-ended role patterns;
+        those must be resolved against a role universe first (the SP
+        Analyzer normalizes arriving sps accordingly).
+        """
+        cached = getattr(self, "_roles_cache", None)
+        if cached is not None:
+            return cached
+        concrete = self.srp.concrete_roles()
+        if concrete is None:
+            raise PunctuationError(
+                f"sp {self.sp_id} has a non-enumerable role pattern "
+                f"{self.srp.spec()!r}; resolve it against a role universe"
+            )
+        object.__setattr__(self, "_roles_cache", concrete)
+        return concrete
+
+    # -- text round trip --------------------------------------------------
+    def to_text(self) -> str:
+        """Alphanumeric sp format used in the paper's presentation.
+
+        Incremental sps (the future-work extension) carry a sixth
+        ``INC`` field; plain sps keep the paper's five-field format.
+        """
+        base = (
+            f"<{self.ddp.spec()} | {self.srp.spec()} | {self.sign.value} | "
+            f"{'T' if self.immutable else 'F'} | {self.ts}"
+        )
+        if self.incremental:
+            return base + " | INC>"
+        return base + ">"
+
+    @classmethod
+    def parse(cls, text: str, provider: str | None = None) -> "SecurityPunctuation":
+        """Parse the output of :meth:`to_text`."""
+        body = text.strip()
+        if not (body.startswith("<") and body.endswith(">")):
+            raise PunctuationError(f"sp text must be <...>: {text!r}")
+        parts = [p.strip() for p in body[1:-1].split("|")]
+        incremental = False
+        if len(parts) == 6:
+            if parts[5].upper() != "INC":
+                raise PunctuationError(
+                    f"unknown sixth sp field: {parts[5]!r}")
+            incremental = True
+            parts = parts[:5]
+        if len(parts) != 5:
+            raise PunctuationError(
+                f"sp text must have 5 '|'-separated fields: {text!r}"
+            )
+        ddp_text, srp_text, sign_text, immutable_text, ts_text = parts
+        immutable_text = immutable_text.upper()
+        if immutable_text not in ("T", "F", "TRUE", "FALSE"):
+            raise PunctuationError(f"invalid Immutable field: {immutable_text!r}")
+        try:
+            ts = float(ts_text)
+        except ValueError:
+            raise PunctuationError(f"invalid timestamp: {ts_text!r}") from None
+        return cls(
+            ddp=DataDescription.parse(ddp_text),
+            srp=SecurityRestriction.parse(srp_text),
+            sign=Sign.parse(sign_text),
+            immutable=immutable_text.startswith("T"),
+            ts=ts,
+            provider=provider,
+            incremental=incremental,
+        )
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+class SPBatch:
+    """A maximal run of consecutive sps with one timestamp (Section III.A).
+
+    A set of consecutive sps sharing a timestamp is interpreted as a
+    *single* access-control policy.
+    """
+
+    __slots__ = ("_sps",)
+
+    def __init__(self, sps: Sequence[SecurityPunctuation]):
+        sps = tuple(sps)
+        if not sps:
+            raise PunctuationError("sp-batch must contain at least one sp")
+        ts = sps[0].ts
+        if any(sp.ts != ts for sp in sps):
+            raise PunctuationError(
+                "all sps in a batch must share one timestamp "
+                f"(got {sorted({sp.ts for sp in sps})})"
+            )
+        self._sps = sps
+
+    @property
+    def sps(self) -> tuple[SecurityPunctuation, ...]:
+        return self._sps
+
+    @property
+    def ts(self) -> float:
+        return self._sps[0].ts
+
+    def __iter__(self):
+        return iter(self._sps)
+
+    def __len__(self) -> int:
+        return len(self._sps)
+
+    def __repr__(self) -> str:
+        return f"SPBatch(ts={self.ts}, sps={len(self._sps)})"
+
+
+def sp_for_roles(roles: Iterable[str] | str, ts: float,
+                 **kwargs) -> SecurityPunctuation:
+    """Shorthand for the common positive tuple-granularity sp."""
+    return SecurityPunctuation.grant(roles, ts, **kwargs)

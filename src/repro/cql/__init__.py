@@ -1,0 +1,29 @@
+"""CQL subset with the paper's INSERT SP extension (Section III.D)."""
+
+from repro.cql.ast import (AggregateItem, ComparisonAST, InsertSPStatement,
+                           LogicalAST, NotAST, SelectItem, SelectStatement,
+                           StreamRef)
+from repro.cql.lexer import Token, TokenType, tokenize
+from repro.cql.parser import parse, parse_insert_sp, parse_select
+from repro.cql.translator import (compile_statement, translate_insert_sp,
+                                  translate_select)
+
+__all__ = [
+    "AggregateItem",
+    "ComparisonAST",
+    "InsertSPStatement",
+    "LogicalAST",
+    "NotAST",
+    "SelectItem",
+    "SelectStatement",
+    "StreamRef",
+    "Token",
+    "TokenType",
+    "compile_statement",
+    "parse",
+    "parse_insert_sp",
+    "parse_select",
+    "tokenize",
+    "translate_insert_sp",
+    "translate_select",
+]

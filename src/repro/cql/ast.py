@@ -1,0 +1,97 @@
+"""Abstract syntax trees for the CQL subset with SP extensions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SelectItem",
+    "UnionStatement",
+    "AggregateItem",
+    "StreamRef",
+    "ComparisonAST",
+    "LogicalAST",
+    "NotAST",
+    "SelectStatement",
+    "InsertSPStatement",
+]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """A plain column in the SELECT list (``*`` has column ``"*"``)."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """``agg(column)`` in the SELECT list."""
+
+    func: str
+    column: str
+
+
+@dataclass(frozen=True)
+class StreamRef:
+    """``FROM stream [RANGE w] [AS alias]``."""
+
+    name: str
+    window: float | None = None
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class ComparisonAST:
+    """``lhs <op> rhs``; rhs is a literal or a (possibly dotted) column."""
+
+    lhs: str
+    op: str
+    rhs: object
+    rhs_is_column: bool = False
+
+
+@dataclass(frozen=True)
+class LogicalAST:
+    """AND/OR of sub-predicates."""
+
+    op: str  # "AND" | "OR"
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class NotAST:
+    inner: object
+
+
+@dataclass
+class SelectStatement:
+    """``SELECT [DISTINCT] items FROM streams [WHERE ...] [GROUP BY ...]``."""
+
+    items: list
+    streams: list[StreamRef]
+    where: object | None = None
+    group_by: str | None = None
+    distinct: bool = False
+
+
+@dataclass
+class InsertSPStatement:
+    """The paper's ``INSERT SP`` declaration (Section III.D)."""
+
+    stream: str
+    ddp: str
+    srp: str
+    sp_name: str | None = None
+    sign: str = "positive"
+    immutable: bool = False
+    incremental: bool = False
+    timestamp: float | None = None
+    lets: dict = field(default_factory=dict)
+
+
+@dataclass
+class UnionStatement:
+    """``SELECT ... UNION SELECT ...`` — bag union of query results."""
+
+    parts: list

@@ -1,0 +1,114 @@
+"""Tokenizer for the CQL subset with SP extensions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT",
+    "GROUP", "BY", "RANGE", "AS", "INSERT", "SP", "INTO", "STREAM",
+    "LET", "DDP", "SRP", "SIGN", "IMMUTABLE", "TIMESTAMP",
+    "INCREMENTAL", "UNION",
+    "POSITIVE", "NEGATIVE", "TRUE", "FALSE",
+})
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+_OPS = ("<=", ">=", "!=", "<>", "==", "=", "<", ">")
+_PUNCT = ",().*"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a CQL statement; raises on unexpected characters."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in ("'", '"'):
+            j = text.find(ch, i + 1)
+            if j < 0:
+                raise CQLSyntaxError("unterminated string literal",
+                                     line, column)
+            tokens.append(Token(TokenType.STRING, text[i + 1:j],
+                                line, column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        matched_op = next((op for op in _OPS if text.startswith(op, i)), None)
+        if matched_op:
+            tokens.append(Token(TokenType.OP, matched_op, line, column))
+            i += len(matched_op)
+            column += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit()
+                             or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, line, column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, column))
+            column += j - i
+            i = j
+            continue
+        raise CQLSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

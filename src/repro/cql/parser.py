@@ -1,0 +1,325 @@
+"""Recursive-descent parser for the CQL subset with SP extensions.
+
+Supported statements::
+
+    SELECT [DISTINCT] col1, col2 | * | agg(col)
+    FROM stream1 [RANGE w] [AS a] [, stream2 [RANGE w] [AS b]]
+    [WHERE predicate [AND|OR predicate]...]
+    [GROUP BY col]
+
+    INSERT SP [AS name] INTO STREAM stream_id
+    LET DDP = 'es, et, ea', SRP = 'roles'
+        [, SIGN = POSITIVE|NEGATIVE]
+        [, IMMUTABLE = TRUE|FALSE]
+        [, TIMESTAMP = ts]
+
+The query syntax is deliberately unchanged from plain CQL — the paper
+infers query roles from the registering subject, so nothing
+security-specific appears in SELECT statements.
+"""
+
+from __future__ import annotations
+
+from repro.cql.ast import (AggregateItem, ComparisonAST, InsertSPStatement,
+                           LogicalAST, NotAST, SelectItem, SelectStatement,
+                           StreamRef, UnionStatement)
+from repro.cql.lexer import Token, TokenType, tokenize
+from repro.errors import CQLSyntaxError
+
+__all__ = ["parse", "parse_select", "parse_insert_sp"]
+
+_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> CQLSyntaxError:
+        token = self.peek()
+        return CQLSyntaxError(f"{message} (got {token.value!r})",
+                              token.line, token.column)
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.next()
+        if not token.is_keyword(word):
+            self.pos -= 1
+            raise self.error(f"expected {word}")
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.pos += 1
+            return True
+        return False
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.PUNCT and token.value == value:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise self.error(f"expected {value!r}")
+
+    def expect_ident(self) -> str:
+        token = self.next()
+        if token.type is not TokenType.IDENT:
+            self.pos -= 1
+            raise self.error("expected identifier")
+        return token.value
+
+    def expect_op(self) -> str:
+        token = self.next()
+        if token.type is not TokenType.OP:
+            self.pos -= 1
+            raise self.error("expected comparison operator")
+        return token.value
+
+    # -- statements ------------------------------------------------------------
+    def parse_statement(self):
+        if self.peek().is_keyword("SELECT"):
+            statement = self.parse_select(top_level=False)
+            parts = [statement]
+            while self.accept_keyword("UNION"):
+                parts.append(self.parse_select(top_level=False))
+            self._expect_eof()
+            if len(parts) == 1:
+                return statement
+            return UnionStatement(parts=parts)
+        if self.peek().is_keyword("INSERT"):
+            return self.parse_insert_sp()
+        raise self.error("expected SELECT or INSERT SP")
+
+    # -- SELECT -----------------------------------------------------------------
+    def parse_select(self, top_level: bool = True) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = self._select_items()
+        self.expect_keyword("FROM")
+        streams = self._stream_refs()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self._predicate()
+        group_by = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.expect_ident()
+        if top_level:
+            self._expect_eof()
+        return SelectStatement(items=items, streams=streams, where=where,
+                               group_by=group_by, distinct=distinct)
+
+    def _select_items(self) -> list:
+        items: list = []
+        while True:
+            token = self.peek()
+            if token.type is TokenType.PUNCT and token.value == "*":
+                self.next()
+                items.append(SelectItem("*"))
+            elif token.type is TokenType.IDENT:
+                name = self.expect_ident()
+                if (name.lower() in _AGGREGATES
+                        and self.peek().value == "("):
+                    self.expect_punct("(")
+                    if self.accept_punct("*"):
+                        column = "*"
+                    else:
+                        column = self.expect_ident()
+                    self.expect_punct(")")
+                    items.append(AggregateItem(name.lower(), column))
+                else:
+                    items.append(SelectItem(name))
+            else:
+                raise self.error("expected select item")
+            if not self.accept_punct(","):
+                return items
+
+    def _stream_refs(self) -> list[StreamRef]:
+        refs = []
+        while True:
+            name = self.expect_ident()
+            window = None
+            if self.accept_keyword("RANGE"):
+                token = self.next()
+                if token.type is not TokenType.NUMBER:
+                    self.pos -= 1
+                    raise self.error("expected window size after RANGE")
+                window = float(token.value)
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = self.expect_ident()
+            refs.append(StreamRef(name, window, alias))
+            if not self.accept_punct(","):
+                return refs
+
+    # -- predicates --------------------------------------------------------------
+    def _predicate(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        parts = [left]
+        while self.accept_keyword("OR"):
+            parts.append(self._and_expr())
+        if len(parts) == 1:
+            return left
+        return LogicalAST("OR", tuple(parts))
+
+    def _and_expr(self):
+        left = self._not_expr()
+        parts = [left]
+        while self.accept_keyword("AND"):
+            parts.append(self._not_expr())
+        if len(parts) == 1:
+            return left
+        return LogicalAST("AND", tuple(parts))
+
+    def _not_expr(self):
+        if self.accept_keyword("NOT"):
+            return NotAST(self._not_expr())
+        if self.accept_punct("("):
+            inner = self._predicate()
+            self.expect_punct(")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> ComparisonAST:
+        lhs = self.expect_ident()
+        op = self.expect_op()
+        token = self.next()
+        if token.type is TokenType.NUMBER:
+            value: object = (float(token.value) if "." in token.value
+                             else int(token.value))
+            return ComparisonAST(lhs, op, value)
+        if token.type is TokenType.STRING:
+            return ComparisonAST(lhs, op, token.value)
+        if token.type is TokenType.IDENT:
+            return ComparisonAST(lhs, op, token.value, rhs_is_column=True)
+        self.pos -= 1
+        raise self.error("expected comparison right-hand side")
+
+    # -- INSERT SP ---------------------------------------------------------------
+    def parse_insert_sp(self) -> InsertSPStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("SP")
+        sp_name = None
+        if self.accept_keyword("AS"):
+            sp_name = self.expect_ident()
+        self.expect_keyword("INTO")
+        self.expect_keyword("STREAM")
+        token = self.next()
+        if token.type in (TokenType.IDENT, TokenType.STRING,
+                          TokenType.NUMBER):
+            stream = token.value
+        else:
+            self.pos -= 1
+            raise self.error("expected stream name or id")
+        self.expect_keyword("LET")
+        lets: dict = {}
+        while True:
+            lets.update(self._let_binding(sp_name))
+            if not self.accept_punct(","):
+                break
+        self._expect_eof()
+        if "DDP" not in lets or "SRP" not in lets:
+            raise CQLSyntaxError("INSERT SP requires DDP and SRP bindings")
+        return InsertSPStatement(
+            stream=stream,
+            ddp=lets["DDP"],
+            srp=lets["SRP"],
+            sp_name=sp_name,
+            sign=lets.get("SIGN", "positive"),
+            immutable=lets.get("IMMUTABLE", False),
+            incremental=lets.get("INCREMENTAL", False),
+            timestamp=lets.get("TIMESTAMP"),
+            lets=lets,
+        )
+
+    _LET_FIELDS = ("DDP", "SRP", "SIGN", "IMMUTABLE", "INCREMENTAL",
+                   "TIMESTAMP")
+
+    def _let_binding(self, sp_name: str | None) -> dict:
+        token = self.next()
+        field = None
+        if token.type is TokenType.KEYWORD and token.value in \
+                self._LET_FIELDS:
+            field = token.value
+        elif token.type is TokenType.IDENT and "." in token.value:
+            # [sp_name.]FIELD form.
+            prefix, _, suffix = token.value.partition(".")
+            if sp_name is not None and prefix != sp_name:
+                raise CQLSyntaxError(
+                    f"unknown sp name {prefix!r} in LET binding",
+                    token.line, token.column)
+            if suffix.upper() in self._LET_FIELDS:
+                field = suffix.upper()
+        if field is None:
+            self.pos -= 1
+            raise self.error(
+                "expected DDP/SRP/SIGN/IMMUTABLE/INCREMENTAL/TIMESTAMP")
+        op = self.expect_op()
+        if op not in ("=", "=="):
+            raise self.error("expected '=' in LET binding")
+        value_token = self.next()
+        if field in ("DDP", "SRP"):
+            if value_token.type is not TokenType.STRING:
+                self.pos -= 1
+                raise self.error(f"{field} must be a quoted string")
+            return {field: value_token.value}
+        if field == "SIGN":
+            if value_token.type is TokenType.KEYWORD and value_token.value in (
+                    "POSITIVE", "NEGATIVE"):
+                return {field: value_token.value.lower()}
+            if value_token.type is TokenType.STRING:
+                return {field: value_token.value.lower()}
+            self.pos -= 1
+            raise self.error("SIGN must be POSITIVE or NEGATIVE")
+        if field in ("IMMUTABLE", "INCREMENTAL"):
+            if value_token.type is TokenType.KEYWORD and value_token.value in (
+                    "TRUE", "FALSE"):
+                return {field: value_token.value == "TRUE"}
+            self.pos -= 1
+            raise self.error(f"{field} must be TRUE or FALSE")
+        # TIMESTAMP
+        if value_token.type is not TokenType.NUMBER:
+            self.pos -= 1
+            raise self.error("TIMESTAMP must be numeric")
+        return {field: float(value_token.value)}
+
+    def _expect_eof(self) -> None:
+        if self.peek().type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+
+
+def parse(text: str):
+    """Parse one CQL statement (SELECT or INSERT SP)."""
+    return _Parser(text).parse_statement()
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a statement that must be a single SELECT."""
+    statement = parse(text)
+    if not isinstance(statement, SelectStatement):
+        raise CQLSyntaxError("expected a SELECT statement")
+    return statement
+
+
+def parse_insert_sp(text: str) -> InsertSPStatement:
+    """Parse a statement that must be an INSERT SP declaration."""
+    statement = parse(text)
+    if not isinstance(statement, InsertSPStatement):
+        raise CQLSyntaxError("expected an INSERT SP statement")
+    return statement

@@ -1,0 +1,182 @@
+"""Translate CQL ASTs into logical plans and security punctuations."""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (DupElimExpr, GroupByExpr, JoinExpr,
+                                       LogicalExpr, ProjectExpr, ScanExpr,
+                                       SelectExpr, UnionExpr)
+from repro.cql.ast import (AggregateItem, ComparisonAST, InsertSPStatement,
+                           LogicalAST, NotAST, SelectItem, SelectStatement,
+                           UnionStatement)
+from repro.cql.parser import parse
+from repro.core.punctuation import (DataDescription, SecurityPunctuation,
+                                    SecurityRestriction, Sign)
+from repro.errors import CQLSyntaxError
+from repro.operators.conditions import (And, Comparison, Condition, Not, Or)
+
+__all__ = ["translate_select", "translate_insert_sp", "compile_statement"]
+
+#: Default window for windowed operators when RANGE is omitted.
+DEFAULT_WINDOW = 1000.0
+
+
+def _condition(ast) -> Condition:
+    if isinstance(ast, ComparisonAST):
+        return Comparison(ast.lhs, ast.op, ast.rhs,
+                          rhs_attribute=ast.rhs_is_column)
+    if isinstance(ast, LogicalAST):
+        parts = [_condition(p) for p in ast.parts]
+        return And(parts) if ast.op == "AND" else Or(parts)
+    if isinstance(ast, NotAST):
+        return Not(_condition(ast.inner))
+    raise CQLSyntaxError(f"unsupported predicate node: {ast!r}")
+
+
+def _split_join_predicates(ast, left_ref, right_ref):
+    """Separate cross-stream equality predicates from local ones."""
+
+    def is_join_eq(node) -> bool:
+        return (isinstance(node, ComparisonAST) and node.rhs_is_column
+                and node.op in ("=", "=="))
+
+    join_pairs: list[tuple[str, str]] = []
+    local: list = []
+
+    def strip_alias(name: str) -> tuple[str | None, str]:
+        if "." in name:
+            prefix, _, col = name.partition(".")
+            return prefix, col
+        return None, name
+
+    def classify(node) -> None:
+        if isinstance(node, LogicalAST) and node.op == "AND":
+            for part in node.parts:
+                classify(part)
+            return
+        if is_join_eq(node):
+            lhs_alias, lhs_col = strip_alias(node.lhs)
+            rhs_alias, rhs_col = strip_alias(str(node.rhs))
+            left_names = {left_ref.alias, left_ref.name}
+            right_names = {right_ref.alias, right_ref.name}
+            if lhs_alias in left_names and rhs_alias in right_names:
+                join_pairs.append((lhs_col, rhs_col))
+                return
+            if lhs_alias in right_names and rhs_alias in left_names:
+                join_pairs.append((rhs_col, lhs_col))
+                return
+            if lhs_alias is None and rhs_alias is None:
+                join_pairs.append((lhs_col, rhs_col))
+                return
+        local.append(node)
+
+    if ast is not None:
+        classify(ast)
+    return join_pairs, local
+
+
+def translate_select(statement: SelectStatement) -> LogicalExpr:
+    """SELECT statement → logical plan (shield added at registration)."""
+    if not statement.streams:
+        raise CQLSyntaxError("SELECT requires at least one stream")
+    if len(statement.streams) > 2:
+        raise CQLSyntaxError("at most two streams are supported")
+
+    if len(statement.streams) == 1:
+        ref = statement.streams[0]
+        expr: LogicalExpr = ScanExpr(ref.name)
+        condition = (_condition(statement.where)
+                     if statement.where is not None else None)
+        if condition is not None:
+            expr = SelectExpr(expr, condition)
+        window = ref.window if ref.window is not None else DEFAULT_WINDOW
+    else:
+        left_ref, right_ref = statement.streams
+        join_pairs, local = _split_join_predicates(
+            statement.where, left_ref, right_ref)
+        if not join_pairs:
+            raise CQLSyntaxError(
+                "two-stream queries require an equality join predicate")
+        left_on, right_on = join_pairs[0]
+        window = (left_ref.window if left_ref.window is not None
+                  else DEFAULT_WINDOW)
+        expr = JoinExpr(ScanExpr(left_ref.name), ScanExpr(right_ref.name),
+                        left_on, right_on, window)
+        if len(join_pairs) > 1:
+            extra = [ComparisonAST(a, "=", b, rhs_is_column=True)
+                     for a, b in join_pairs[1:]]
+            local = extra + local
+        if local:
+            conditions = [_condition(node) for node in local]
+            expr = SelectExpr(expr, conditions[0] if len(conditions) == 1
+                              else And(conditions))
+
+    aggregates = [item for item in statement.items
+                  if isinstance(item, AggregateItem)]
+    plain = [item.column for item in statement.items
+             if isinstance(item, SelectItem)]
+
+    if aggregates:
+        if len(aggregates) > 1:
+            raise CQLSyntaxError("one aggregate per query is supported")
+        agg = aggregates[0]
+        key = statement.group_by
+        column = agg.column if agg.column != "*" else (key or "*")
+        return GroupByExpr(expr, key, agg.func, column, window)
+    if statement.group_by is not None:
+        raise CQLSyntaxError("GROUP BY requires an aggregate select item")
+
+    if plain and "*" not in plain:
+        expr = ProjectExpr(expr, tuple(plain))
+    if statement.distinct:
+        attributes = tuple(plain) if plain and "*" not in plain else None
+        expr = DupElimExpr(expr, window, attributes)
+    return expr
+
+
+def translate_insert_sp(statement: InsertSPStatement,
+                        provider: str | None = None,
+                        default_ts: float = 0.0) -> SecurityPunctuation:
+    """INSERT SP statement → a security punctuation for the stream."""
+    ddp = DataDescription.parse(statement.ddp)
+    if ddp.stream.is_wildcard() and statement.stream != "*":
+        from repro.core.patterns import literal
+        ddp = DataDescription(stream=literal(statement.stream),
+                              tuple_id=ddp.tuple_id,
+                              attribute=ddp.attribute)
+    srp = SecurityRestriction.parse(statement.srp)
+    ts = (statement.timestamp if statement.timestamp is not None
+          else default_ts)
+    return SecurityPunctuation(
+        ddp=ddp,
+        srp=srp,
+        sign=Sign.parse(statement.sign),
+        immutable=bool(statement.immutable),
+        ts=ts,
+        provider=provider,
+        incremental=bool(statement.incremental),
+    )
+
+
+def translate_union(statement: UnionStatement) -> LogicalExpr:
+    """UNION of SELECT statements → left-deep tree of ∪ operators."""
+    parts = [translate_select(part) for part in statement.parts]
+    expr = parts[0]
+    for part in parts[1:]:
+        expr = UnionExpr(expr, part)
+    return expr
+
+
+def compile_statement(text: str, *, provider: str | None = None,
+                      default_ts: float = 0.0):
+    """Parse and translate one statement.
+
+    Returns a :class:`LogicalExpr` for SELECT/UNION statements or a
+    :class:`SecurityPunctuation` for INSERT SP statements.
+    """
+    statement = parse(text)
+    if isinstance(statement, SelectStatement):
+        return translate_select(statement)
+    if isinstance(statement, UnionStatement):
+        return translate_union(statement)
+    assert isinstance(statement, InsertSPStatement)
+    return translate_insert_sp(statement, provider, default_ts)

@@ -1,0 +1,67 @@
+"""Stream catalog: registered streams, their sources and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.statistics import StatisticsCatalog, StreamStatistics
+from repro.errors import StreamError
+from repro.stream.schema import StreamSchema
+from repro.stream.source import StreamSource
+
+__all__ = ["RegisteredStream", "StreamCatalog"]
+
+
+@dataclass
+class RegisteredStream:
+    """One stream known to the DSMS."""
+
+    schema: StreamSchema
+    source: StreamSource | None
+    #: Whether this stream carries security punctuations (drives the
+    #: one- vs two-sided variants of Rule 3).
+    carries_policies: bool = True
+
+
+class StreamCatalog:
+    """Registry of input streams."""
+
+    def __init__(self):
+        self._streams: dict[str, RegisteredStream] = {}
+        self.statistics = StatisticsCatalog()
+
+    def register(self, schema: StreamSchema,
+                 source: StreamSource | None = None, *,
+                 carries_policies: bool = True,
+                 stats: StreamStatistics | None = None) -> None:
+        stream_id = schema.stream_id
+        if stream_id in self._streams:
+            raise StreamError(f"stream {stream_id!r} already registered")
+        self._streams[stream_id] = RegisteredStream(
+            schema, source, carries_policies)
+        if stats is not None:
+            self.statistics.set_stream(stream_id, stats)
+
+    def get(self, stream_id: str) -> RegisteredStream:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise StreamError(f"unknown stream: {stream_id!r}") from None
+
+    def set_source(self, stream_id: str, source: StreamSource) -> None:
+        self.get(stream_id).source = source
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    def stream_ids(self) -> list[str]:
+        return sorted(self._streams)
+
+    def policy_streams(self) -> frozenset[str]:
+        return frozenset(
+            sid for sid, reg in self._streams.items() if reg.carries_policies
+        )
+
+    def sources(self) -> list[StreamSource]:
+        return [reg.source for reg in self._streams.values()
+                if reg.source is not None]

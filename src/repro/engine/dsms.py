@@ -1,0 +1,278 @@
+"""The DSMS facade: streams in, sps analyzed, queries out (Figure 1).
+
+:class:`DSMS` wires together everything the paper's architecture
+diagram shows: data providers' streams (with embedded sps) enter
+through the SP Analyzer; registered continuous queries — each guarded
+by Security Shields for its specifier's roles — run as one shared
+physical plan; each query's results are collected separately.
+
+Typical use::
+
+    dsms = DSMS()
+    dsms.register_stream(schema, elements)
+    dsms.register_query("q1", ScanExpr("s1").select(cond), roles={"D"})
+    results = dsms.run()
+    results["q1"].tuples
+
+The facade also implements the paper's future-work items: runtime
+role re-binding for queries (:meth:`update_query_roles`) and
+incremental policy changes (new sps simply stream in; nothing is
+stored server-side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.access.rbac import RBACModel
+from repro.algebra.expressions import LogicalExpr, ShieldExpr, walk
+from repro.algebra.optimizer import Optimizer
+from repro.algebra.rules import RewriteContext
+from repro.algebra.statistics import StreamStatistics
+from repro.core.analyzer import SPAnalyzer
+from repro.core.bitmap import RoleSet, RoleUniverse
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.catalog import StreamCatalog
+from repro.engine.executor import ExecutionReport, Executor
+from repro.engine.plan import PhysicalPlan
+from repro.engine.query import ContinuousQuery
+from repro.errors import QueryError
+from repro.operators.shield import SecurityShield
+from repro.operators.sink import CollectingSink
+from repro.stream.element import StreamElement
+from repro.stream.schema import StreamSchema
+from repro.stream.source import CallbackSource, ListSource, StreamSource
+from repro.stream.tuples import DataTuple
+
+__all__ = ["DSMS", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Results of one query after a run."""
+
+    name: str
+    elements: list[StreamElement] = field(default_factory=list)
+
+    @property
+    def tuples(self) -> list[DataTuple]:
+        return [e for e in self.elements if isinstance(e, DataTuple)]
+
+    @property
+    def sps(self) -> list[SecurityPunctuation]:
+        return [e for e in self.elements
+                if isinstance(e, SecurityPunctuation)]
+
+    def __repr__(self) -> str:
+        return (f"QueryResult({self.name!r}, tuples={len(self.tuples)}, "
+                f"sps={len(self.sps)})")
+
+
+class DSMS:
+    """A centralized data stream management system with sp enforcement."""
+
+    def __init__(self, *, rbac: RBACModel | None = None,
+                 universe: RoleUniverse | None = None):
+        if universe is None:
+            universe = rbac.universe if rbac is not None else RoleUniverse()
+        self.universe = universe
+        self.rbac = rbac
+        self.analyzer = SPAnalyzer(universe)
+        self.catalog = StreamCatalog()
+        self.queries: dict[str, ContinuousQuery] = {}
+        self._live_plan: PhysicalPlan | None = None
+        self._live_shields: dict[str, list[SecurityShield]] = {}
+        self.last_report: ExecutionReport | None = None
+
+    # -- streams --------------------------------------------------------
+    def register_stream(self, schema: StreamSchema,
+                        elements=None, *, source: StreamSource | None = None,
+                        carries_policies: bool = True,
+                        stats: StreamStatistics | None = None) -> None:
+        """Register an input stream with its element source."""
+        if source is None and elements is not None:
+            source = ListSource(schema, list(elements))
+        self.catalog.register(schema, source, carries_policies=carries_policies,
+                              stats=stats)
+
+    def add_server_policy(self, sp: SecurityPunctuation) -> None:
+        """Server-side policy, intersected with provider sps on entry."""
+        self.analyzer.add_server_policy(sp)
+
+    # -- queries ---------------------------------------------------------
+    def register_query(self, name: str, expr: LogicalExpr, *,
+                       roles=None, user_id: str | None = None,
+                       auto_shield: bool = True) -> ContinuousQuery:
+        """Register a continuous query for a set of roles or a user.
+
+        With ``user_id`` (requires an RBAC model) the query inherits
+        the user's active roles and the user is locked against role
+        re-assignment for the lifetime of the registration.
+        """
+        if name in self.queries:
+            raise QueryError(f"query {name!r} already registered")
+        if roles is None:
+            if user_id is None or self.rbac is None:
+                raise QueryError(
+                    "provide roles, or a user_id with an RBAC model")
+            roles = self.rbac.roles_of(user_id)
+            session = self.rbac.session_of(user_id)
+            if session is not None:
+                roles = session.active_roles
+            self.rbac.lock(user_id)
+        for role in roles:
+            self.universe.register(role)
+        query = ContinuousQuery(name, expr, roles, user_id=user_id,
+                                auto_shield=auto_shield)
+        self.queries[name] = query
+        self._live_plan = None
+        return query
+
+    def deregister_query(self, name: str) -> None:
+        query = self.queries.pop(name, None)
+        if query is None:
+            raise QueryError(f"unknown query: {name!r}")
+        if query.user_id is not None and self.rbac is not None:
+            self.rbac.unlock(query.user_id)
+        self._live_plan = None
+
+    def update_query_roles(self, name: str, roles) -> None:
+        """Runtime role re-binding (paper future work).
+
+        Updates the registered query's roles and, if a compiled plan is
+        live, rewrites the predicates of that query's Security Shields
+        in place — taking effect from the next processed element.
+        """
+        query = self.queries.get(name)
+        if query is None:
+            raise QueryError(f"unknown query: {name!r}")
+        roles = frozenset(roles)
+        if not roles:
+            raise QueryError("a query must keep at least one role")
+        old_expr = query.expr
+        new_expr = _replace_shield_roles(old_expr, query.roles, roles)
+        self.queries[name] = query.with_expr(new_expr)
+        self.queries[name].roles = roles  # type: ignore[misc]
+        for shield in self._live_shields.get(name, ()):
+            shield.predicate = RoleSet(roles)
+            shield.conjuncts = (shield.predicate,)
+            shield._predicate_list = sorted(roles)  # noqa: SLF001
+            shield._decision_stale = True  # noqa: SLF001
+
+    # -- execution -----------------------------------------------------------
+    def build_plan(self, *, optimize: "bool | str" = False
+                   ) -> tuple[PhysicalPlan, dict[str, CollectingSink]]:
+        """Compile all registered queries into one shared physical plan.
+
+        ``optimize`` may be ``False`` (compile as registered), ``True``
+        (optimize each query in isolation) or ``"workload"`` (Section
+        VI.C multi-query optimization: choose per-query plans that
+        minimize the cost of the workload with shared subplans counted
+        once).
+        """
+        if not self.queries:
+            raise QueryError("no queries registered")
+        plan = PhysicalPlan(self.universe)
+        sinks: dict[str, CollectingSink] = {}
+        context = RewriteContext(
+            policy_streams=self.catalog.policy_streams(),
+            schemas={
+                sid: frozenset(self.catalog.get(sid).schema.attributes)
+                for sid in self.catalog.stream_ids()
+            })
+        optimizer = Optimizer(context=context)
+        optimizer.cost_model.catalog = self.catalog.statistics
+        self._live_shields = {}
+        workload_plans: dict[str, object] = {}
+        if optimize == "workload":
+            names = list(self.queries)
+            result = optimizer.optimize_workload(
+                [self.queries[name].expr for name in names])
+            workload_plans = dict(zip(names, result.plans))
+        for name, query in self.queries.items():
+            expr = query.expr
+            if optimize == "workload":
+                expr = workload_plans[name]
+            elif optimize:
+                expr = optimizer.optimize(expr).plan
+            sink = CollectingSink(name=f"sink:{name}")
+            # The delivery shield is a fixed final check: results are
+            # handed only to subjects holding the query's roles, no
+            # matter how the optimizer moved the in-plan shields.  For
+            # an unrewritten plan it is a cheap no-op (everything the
+            # root shield passed also passes here).
+            delivery = SecurityShield(RoleSet(query.roles),
+                                      name=f"delivery:{name}")
+            plan.compile_chain(expr, [delivery, sink])
+            sinks[name] = sink
+            shields = [
+                plan._expr_cache[node].operator  # noqa: SLF001
+                for node in walk(expr)
+                if isinstance(node, ShieldExpr)
+                and node in plan._expr_cache  # noqa: SLF001
+            ]
+            self._live_shields[name] = [
+                s for s in shields if isinstance(s, SecurityShield)
+            ] + [delivery]
+        self._live_plan = plan
+        return plan, sinks
+
+    def _analyzed_sources(self) -> list[StreamSource]:
+        sources: list[StreamSource] = []
+        for stream_id in self.catalog.stream_ids():
+            registered = self.catalog.get(stream_id)
+            if registered.source is None:
+                continue
+            if registered.carries_policies:
+                base = registered.source
+                sources.append(CallbackSource(
+                    registered.schema,
+                    (lambda b=base: self.analyzer.analyze(iter(b))),
+                ))
+            else:
+                sources.append(registered.source)
+        return sources
+
+    def open_session(self, *, optimize: bool = False,
+                     analyze_sps: bool = True):
+        """Open a live :class:`~repro.engine.session.StreamingSession`.
+
+        The session keeps the compiled plan and lets the caller push
+        elements incrementally; results arrive per push (or via
+        subscriptions).  Useful where :meth:`run`'s finite-source model
+        does not fit.
+        """
+        from repro.engine.session import StreamingSession
+
+        return StreamingSession(self, optimize=optimize,
+                                analyze_sps=analyze_sps)
+
+    def run(self, *, optimize: "bool | str" = False,
+            analyze_sps: bool = True) -> dict[str, QueryResult]:
+        """Execute all queries over all registered sources.
+
+        ``optimize`` as in :meth:`build_plan` (``False`` / ``True`` /
+        ``"workload"``).
+        """
+        plan, sinks = self.build_plan(optimize=optimize)
+        sources = (self._analyzed_sources() if analyze_sps
+                   else self.catalog.sources())
+        executor = Executor(plan, sources)
+        self.last_report = executor.run()
+        return {
+            name: QueryResult(name, list(sink.elements))
+            for name, sink in sinks.items()
+        }
+
+
+def _replace_shield_roles(expr: LogicalExpr, old: frozenset[str],
+                          new: frozenset[str]) -> LogicalExpr:
+    """Rewrite shields whose only predicate is ``old`` to ``new``."""
+    if isinstance(expr, ShieldExpr) and expr.predicates == (frozenset(old),):
+        return ShieldExpr(
+            _replace_shield_roles(expr.input, old, new), frozenset(new))
+    children = tuple(_replace_shield_roles(c, old, new)
+                     for c in expr.children())
+    if not children:
+        return expr
+    return expr.with_children(*children)

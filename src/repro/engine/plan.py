@@ -1,0 +1,210 @@
+"""Physical query plans.
+
+A physical plan is a DAG of operator nodes fed by named stream sources.
+Plans are built either directly (``add`` / ``connect``) or compiled
+from logical expressions (:meth:`PhysicalPlan.compile_expr`).  The
+compiler hash-conses on structural expression equality, so queries
+sharing a subexpression share the corresponding operator nodes — the
+shared subplans of Figure 5 — and each shared stateful operator keeps a
+single copy of its state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algebra.expressions import (DupElimExpr, GroupByExpr,
+                                       IntersectExpr, JoinExpr, LogicalExpr,
+                                       ProjectExpr, ScanExpr, SelectExpr,
+                                       ShieldExpr, UnionExpr)
+from repro.core.bitmap import RoleUniverse
+from repro.errors import PlanError
+from repro.operators.base import Operator
+from repro.operators.dupelim import DuplicateElimination
+from repro.operators.groupby import GroupBy
+from repro.operators.index_join import IndexSAJoin
+from repro.operators.join import NestedLoopSAJoin
+from repro.operators.project import Project
+from repro.operators.select import Select
+from repro.operators.setops import Intersect, Union
+from repro.operators.shield import SecurityShield
+
+__all__ = ["PlanNode", "PhysicalPlan"]
+
+
+class PlanNode:
+    """One operator in the DAG plus its downstream edges."""
+
+    __slots__ = ("operator", "downstream", "node_id")
+
+    def __init__(self, operator: Operator, node_id: int):
+        self.operator = operator
+        self.node_id = node_id
+        #: (child node, child input port) pairs.
+        self.downstream: list[tuple["PlanNode", int]] = []
+
+    def __repr__(self) -> str:
+        return f"PlanNode#{self.node_id}({self.operator.name})"
+
+
+class PhysicalPlan:
+    """An executable operator DAG."""
+
+    def __init__(self, universe: RoleUniverse | None = None):
+        self.universe = universe if universe is not None else RoleUniverse()
+        self.nodes: list[PlanNode] = []
+        #: stream id -> [(entry node, port)]
+        self.entries: dict[str, list[tuple[PlanNode, int]]] = {}
+        self._expr_cache: dict[LogicalExpr, PlanNode] = {}
+
+    # -- construction ------------------------------------------------------
+    def add(self, operator: Operator) -> PlanNode:
+        node = PlanNode(operator, len(self.nodes))
+        self.nodes.append(node)
+        return node
+
+    def connect(self, parent: PlanNode, child: PlanNode,
+                port: int = 0) -> None:
+        if not 0 <= port < child.operator.arity:
+            raise PlanError(
+                f"{child.operator.name} has no port {port}"
+            )
+        parent.downstream.append((child, port))
+
+    def connect_source(self, stream_id: str, node: PlanNode,
+                       port: int = 0) -> None:
+        if not 0 <= port < node.operator.arity:
+            raise PlanError(f"{node.operator.name} has no port {port}")
+        self.entries.setdefault(stream_id, []).append((node, port))
+
+    # -- compilation from logical expressions ------------------------------------
+    def compile_expr(self, expr: LogicalExpr, sink: Operator) -> PlanNode:
+        """Compile ``expr``, attach ``sink`` to its output, return sink node.
+
+        Structurally equal subexpressions compile to shared nodes.
+        """
+        return self.compile_chain(expr, [sink])[-1]
+
+    def compile_chain(self, expr: LogicalExpr,
+                      operators: list[Operator]) -> list[PlanNode]:
+        """Compile ``expr`` and attach a chain of unary operators.
+
+        Used e.g. to place a fixed delivery-side filter between a
+        query's plan and its sink.  Returns the chain's nodes in order.
+        """
+        if not operators:
+            raise PlanError("compile_chain requires at least one operator")
+        nodes = [self.add(op) for op in operators]
+        outlet = self._compile(expr)
+        self._attach(outlet, nodes[0], 0)
+        for parent, child in zip(nodes, nodes[1:]):
+            self.connect(parent, child)
+        return nodes
+
+    def _attach(self, outlet: "str | PlanNode", node: PlanNode,
+                port: int) -> None:
+        if isinstance(outlet, str):
+            self.connect_source(outlet, node, port)
+        else:
+            self.connect(outlet, node, port)
+
+    def _compile(self, expr: LogicalExpr) -> "str | PlanNode":
+        """Returns either a stream id (scan) or the producing node."""
+        if isinstance(expr, ScanExpr):
+            return expr.stream_id
+        cached = self._expr_cache.get(expr)
+        if cached is not None:
+            return cached
+        node = self._build_node(expr)
+        self._expr_cache[expr] = node
+        return node
+
+    def _build_node(self, expr: LogicalExpr) -> PlanNode:
+        children = [self._compile(child) for child in expr.children()]
+        operator = self._make_operator(expr, children)
+        node = self.add(operator)
+        for port, outlet in enumerate(children):
+            self._attach(outlet, node, port)
+        return node
+
+    def _make_operator(self, expr: LogicalExpr,
+                       children: list) -> Operator:
+        def sid(outlet, default: str) -> str:
+            return outlet if isinstance(outlet, str) else default
+
+        if isinstance(expr, ShieldExpr):
+            for role in sorted(expr.roles):
+                self.universe.register(role)
+            conjuncts = [frozenset(p) for p in expr.predicates]
+            from repro.core.bitmap import RoleSet
+            return SecurityShield(
+                RoleSet(expr.roles), sid(children[0], "*"),
+                conjuncts=[RoleSet(c) for c in conjuncts],
+            )
+        if isinstance(expr, SelectExpr):
+            return Select(expr.condition)
+        if isinstance(expr, ProjectExpr):
+            return Project(expr.attributes)
+        if isinstance(expr, JoinExpr):
+            left_sid = sid(children[0], "left")
+            right_sid = sid(children[1], "right")
+            if expr.variant == "nl":
+                return NestedLoopSAJoin(
+                    expr.left_on, expr.right_on, expr.window,
+                    method=expr.method, left_sid=left_sid,
+                    right_sid=right_sid,
+                )
+            return IndexSAJoin(
+                expr.left_on, expr.right_on, expr.window,
+                universe=self.universe, left_sid=left_sid,
+                right_sid=right_sid,
+            )
+        if isinstance(expr, DupElimExpr):
+            return DuplicateElimination(
+                expr.window, expr.attributes,
+                stream_id=sid(children[0], "*"),
+            )
+        if isinstance(expr, GroupByExpr):
+            return GroupBy(expr.key, expr.agg, expr.attribute,
+                           window=expr.window,
+                           stream_id=sid(children[0], "*"))
+        if isinstance(expr, UnionExpr):
+            return Union(left_sid=sid(children[0], "left"),
+                         right_sid=sid(children[1], "right"))
+        if isinstance(expr, IntersectExpr):
+            return Intersect(expr.attributes, expr.window,
+                             left_sid=sid(children[0], "left"),
+                             right_sid=sid(children[1], "right"))
+        raise PlanError(f"cannot compile {type(expr).__name__}")
+
+    # -- introspection ----------------------------------------------------------
+    def topological(self) -> list[PlanNode]:
+        """Nodes ordered so parents precede children."""
+        indegree: dict[int, int] = {node.node_id: 0 for node in self.nodes}
+        for node in self.nodes:
+            for child, _ in node.downstream:
+                indegree[child.node_id] += 1
+        order: list[PlanNode] = []
+        ready = [node for node in self.nodes
+                 if indegree[node.node_id] == 0]
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for child, _ in node.downstream:
+                indegree[child.node_id] -= 1
+                if indegree[child.node_id] == 0:
+                    ready.append(child)
+        if len(order) != len(self.nodes):
+            raise PlanError("plan contains a cycle")
+        return order
+
+    def operators(self) -> Iterator[Operator]:
+        for node in self.nodes:
+            yield node.operator
+
+    def find_operators(self, op_type: type) -> list[Operator]:
+        return [op for op in self.operators() if isinstance(op, op_type)]
+
+    def __repr__(self) -> str:
+        return (f"PhysicalPlan(nodes={len(self.nodes)}, "
+                f"entries={sorted(self.entries)})")

@@ -1,0 +1,56 @@
+"""Continuous queries.
+
+A continuous query pairs a logical expression with the roles of the
+query specifier registered to receive its results (paper Section II.B:
+"each query inherits the security restriction(s) associated with the
+query specifier").  The DSMS guards every query with a Security Shield
+for those roles — by default at the plan root, after which the
+optimizer is free to interleave it per Rules 2-5.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import LogicalExpr, ShieldExpr, walk
+from repro.errors import QueryError
+
+__all__ = ["ContinuousQuery"]
+
+
+class ContinuousQuery:
+    """One registered continuous query."""
+
+    def __init__(self, name: str, expr: LogicalExpr,
+                 roles: frozenset[str] | set[str] | tuple | list,
+                 *, user_id: str | None = None,
+                 auto_shield: bool = True):
+        if not name:
+            raise QueryError("query requires a name")
+        roles = frozenset(roles)
+        if not roles:
+            raise QueryError(
+                f"query {name!r} has no roles; every query specifier "
+                "must belong to at least one role"
+            )
+        self.name = name
+        self.roles = roles
+        self.user_id = user_id
+        if auto_shield and not self._has_shield(expr):
+            expr = ShieldExpr(expr, roles)
+        self.expr = expr
+
+    @staticmethod
+    def _has_shield(expr: LogicalExpr) -> bool:
+        return any(isinstance(node, ShieldExpr) for node in walk(expr))
+
+    def with_expr(self, expr: LogicalExpr) -> "ContinuousQuery":
+        """Same query, rewritten plan (used after optimization)."""
+        clone = ContinuousQuery.__new__(ContinuousQuery)
+        clone.name = self.name
+        clone.roles = self.roles
+        clone.user_id = self.user_id
+        clone.expr = expr
+        return clone
+
+    def __repr__(self) -> str:
+        return (f"ContinuousQuery({self.name!r}, "
+                f"roles={sorted(self.roles)})")

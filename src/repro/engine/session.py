@@ -1,0 +1,159 @@
+"""Online streaming sessions: push elements in, get results out.
+
+:meth:`~repro.engine.dsms.DSMS.run` executes registered queries over
+pre-registered finite sources.  A :class:`StreamingSession` instead
+keeps a compiled plan live and lets the caller push stream elements
+one at a time — the shape of a real deployment, and the mode in which
+the paper's "speed of enforcement" advantage is visible: a policy
+change takes effect for the very next pushed tuple.
+
+Results are delivered through per-query callbacks (or collected, if no
+callback is given)::
+
+    session = dsms.open_session()
+    session.subscribe("q1", lambda el: print("q1 got", el))
+    session.push("HeartRate", sp)
+    session.push("HeartRate", reading)
+    session.close()
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.executor import Executor
+from repro.errors import QueryError, StreamError
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["StreamingSession"]
+
+ResultCallback = Callable[[StreamElement], None]
+
+
+class StreamingSession:
+    """A live plan accepting pushed elements.
+
+    Created via :meth:`repro.engine.dsms.DSMS.open_session`; not
+    instantiated directly.
+    """
+
+    def __init__(self, dsms, *, optimize: bool = False,
+                 analyze_sps: bool = True):
+        self._dsms = dsms
+        self._plan, self._sinks = dsms.build_plan(optimize=optimize)
+        self._executor = Executor(self._plan, [])
+        self._analyze = analyze_sps
+        self._callbacks: dict[str, ResultCallback] = {}
+        self._consumed: dict[str, int] = {name: 0 for name in self._sinks}
+        self._last_ts: dict[str, float] = {}
+        self._pending_sps: dict[str, list[SecurityPunctuation]] = {}
+        self._closed = False
+        self.elements_pushed = 0
+
+    # -- subscriptions ------------------------------------------------------
+    def subscribe(self, query_name: str, callback: ResultCallback) -> None:
+        """Deliver each new result element of ``query_name`` to
+        ``callback`` (invoked synchronously during :meth:`push`)."""
+        if query_name not in self._sinks:
+            raise QueryError(f"unknown query: {query_name!r}")
+        self._callbacks[query_name] = callback
+        self._drain(query_name)
+
+    # -- pushing ---------------------------------------------------------------
+    def push(self, stream_id: str,
+             element: StreamElement) -> dict[str, list[StreamElement]]:
+        """Feed one element; returns the new results per query.
+
+        Elements of one stream must arrive in timestamp order.  Sps
+        pass through the DSMS's SP Analyzer (batch-buffered: an
+        sp-batch is released to the plan when its first tuple — or an
+        sp with a different timestamp — arrives).
+        """
+        if self._closed:
+            raise StreamError("session is closed")
+        if stream_id not in self._dsms.catalog:
+            raise StreamError(f"unknown stream: {stream_id!r}")
+        last = self._last_ts.get(stream_id)
+        if last is not None and element.ts < last:
+            raise StreamError(
+                f"out-of-order push on {stream_id!r}: ts {element.ts} "
+                f"after {last} (use a ReorderBuffer upstream)")
+        self._last_ts[stream_id] = element.ts
+        self.elements_pushed += 1
+
+        for item in self._ingest(stream_id, element):
+            self._executor.feed(stream_id, item)
+        return self._collect_new()
+
+    def _ingest(self, stream_id: str, element: StreamElement):
+        """Apply analyzer batch semantics to pushed sps."""
+        if not self._analyze:
+            return [element]
+        pending = self._pending_sps.setdefault(stream_id, [])
+        if isinstance(element, SecurityPunctuation):
+            if pending and element.ts != pending[0].ts:
+                released = self._dsms.analyzer.process_batch(pending)
+                self._pending_sps[stream_id] = [element]
+                return released
+            pending.append(element)
+            return []
+        if pending:
+            released = self._dsms.analyzer.process_batch(pending)
+            self._pending_sps[stream_id] = []
+            return list(released) + [element]
+        return [element]
+
+    def push_many(self, stream_id: str, elements) -> dict[str, list]:
+        """Push a sequence of elements; returns accumulated results."""
+        out: dict[str, list[StreamElement]] = {name: []
+                                               for name in self._sinks}
+        for element in elements:
+            for name, items in self.push(stream_id, element).items():
+                out[name].extend(items)
+        return out
+
+    # -- result delivery ----------------------------------------------------
+    def _collect_new(self) -> dict[str, list[StreamElement]]:
+        out: dict[str, list[StreamElement]] = {}
+        for name in self._sinks:
+            out[name] = self._drain(name)
+        return out
+
+    def _drain(self, name: str) -> list[StreamElement]:
+        sink = self._sinks[name]
+        new = sink.elements[self._consumed[name]:]
+        self._consumed[name] = len(sink.elements)
+        callback = self._callbacks.get(name)
+        if callback is not None:
+            for element in new:
+                callback(element)
+        return new
+
+    def results(self, query_name: str) -> list[DataTuple]:
+        """All data tuples delivered to a query so far."""
+        if query_name not in self._sinks:
+            raise QueryError(f"unknown query: {query_name!r}")
+        return [e for e in self._sinks[query_name].elements
+                if isinstance(e, DataTuple)]
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> dict[str, list[StreamElement]]:
+        """Flush held sp-batches and operator state; final results."""
+        if self._closed:
+            return {name: [] for name in self._sinks}
+        for stream_id, pending in self._pending_sps.items():
+            if pending:
+                for item in self._dsms.analyzer.process_batch(pending):
+                    self._executor.feed(stream_id, item)
+        self._pending_sps.clear()
+        self._executor._flush()  # noqa: SLF001 - same package
+        self._closed = True
+        return self._collect_new()
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

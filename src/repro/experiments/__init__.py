@@ -1,0 +1,6 @@
+"""Experiment drivers regenerating every figure of Section VII."""
+
+from repro.experiments import fig7, fig8, fig9
+from repro.experiments.runner import run_all
+
+__all__ = ["fig7", "fig8", "fig9", "run_all"]

@@ -1,0 +1,67 @@
+"""ASCII bar charts for terminal experiment output.
+
+The experiment runner prints the paper's figures as tables; these
+helpers add a horizontal-bar rendering so the *shape* — who wins,
+where the crossover falls — is visible at a glance in a terminal::
+
+    1/1    store-and-probe        ██████████████████████████ 0.0060
+    1/1    security punctuations  ███████████████████████████████ 0.0080
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0 or value <= 0:
+        return ""
+    fraction = min(value / maximum, 1.0)
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial_index = int(remainder * len(_PARTIAL))
+    partial = (_PARTIAL[partial_index].strip()
+               if 0 < partial_index < len(_PARTIAL) else "")
+    return _FULL * full + partial
+
+
+def bar_chart(rows: Sequence[tuple[str, float]], *, width: int = 40,
+              title: str | None = None, unit: str = "") -> str:
+    """Render ``(label, value)`` rows as horizontal bars."""
+    if not rows:
+        return title or ""
+    label_width = max(len(label) for label, _ in rows)
+    maximum = max(value for _, value in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        bar = _bar(value, maximum, width)
+        lines.append(f"{label:<{label_width}}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Sequence[tuple[str,
+                                             Sequence[tuple[str, float]]]],
+                      *, width: int = 36, title: str | None = None,
+                      unit: str = "") -> str:
+    """Bars grouped under headings, scaled to the global maximum."""
+    values = [value for _, rows in groups for _, value in rows]
+    if not values:
+        return title or ""
+    maximum = max(values)
+    label_width = max((len(label) for _, rows in groups
+                       for label, _ in rows), default=0)
+    lines = [title] if title else []
+    for heading, rows in groups:
+        lines.append(f"{heading}:")
+        for label, value in rows:
+            bar = _bar(value, maximum, width)
+            lines.append(
+                f"  {label:<{label_width}}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Plain-text result tables for the experiment harness.
+
+The benchmark drivers print the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table", "format_number"]
+
+
+def format_number(value: object, precision: int = 4) -> str:
+    """Compact human-readable rendering of one table cell."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str | None = None) -> str:
+    """Render an aligned text table."""
+    cells = [[format_number(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                *, title: str | None = None) -> None:
+    """Print an aligned text table followed by a blank line."""
+    print(format_table(headers, rows, title=title))
+    print()

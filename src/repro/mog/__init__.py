@@ -1,0 +1,13 @@
+"""Moving-objects workload (Brinkhoff-generator substitute)."""
+
+from repro.mog.generator import LOCATION_SCHEMA, MovingObjectsGenerator
+from repro.mog.network import RoadNetwork, make_city_network
+from repro.mog.objects import MovingObject
+
+__all__ = [
+    "LOCATION_SCHEMA",
+    "MovingObject",
+    "MovingObjectsGenerator",
+    "RoadNetwork",
+    "make_city_network",
+]

@@ -1,0 +1,95 @@
+"""Synthetic road networks for the moving-objects workload.
+
+The paper's evaluation uses the Brinkhoff network-based moving-objects
+generator over the road map of Worcester, MA.  The map itself is not
+redistributable, so we build a synthetic city: a jittered grid of
+intersections with a few arterial diagonals removed/added, weighted by
+Euclidean length.  What the experiments need from the network is only
+that objects move continuously along shared paths and emit plausible
+location updates — all preserved here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+__all__ = ["RoadNetwork", "make_city_network"]
+
+
+class RoadNetwork:
+    """A road network: a weighted undirected graph with coordinates."""
+
+    def __init__(self, graph: nx.Graph):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("road network must be non-empty")
+        self.graph = graph
+        self._nodes = list(graph.nodes)
+
+    def random_node(self, rng: random.Random):
+        return rng.choice(self._nodes)
+
+    def position(self, node) -> tuple[float, float]:
+        data = self.graph.nodes[node]
+        return data["x"], data["y"]
+
+    def shortest_path(self, source, target) -> list:
+        return nx.shortest_path(self.graph, source, target, weight="length")
+
+    def edge_length(self, u, v) -> float:
+        return self.graph.edges[u, v]["length"]
+
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+
+def make_city_network(width: int = 12, height: int = 12, *,
+                      jitter: float = 0.25, block: float = 100.0,
+                      removal_fraction: float = 0.08,
+                      seed: int = 0) -> RoadNetwork:
+    """Build a jittered-grid city network.
+
+    ``width`` × ``height`` intersections spaced ``block`` meters apart,
+    each perturbed by up to ``jitter`` blocks; a ``removal_fraction``
+    of non-bridge streets is removed to break the regularity.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    for row in range(height):
+        for col in range(width):
+            x = col * block + rng.uniform(-jitter, jitter) * block
+            y = row * block + rng.uniform(-jitter, jitter) * block
+            graph.add_node((row, col), x=x, y=y)
+
+    def add_street(a, b) -> None:
+        ax, ay = graph.nodes[a]["x"], graph.nodes[a]["y"]
+        bx, by = graph.nodes[b]["x"], graph.nodes[b]["y"]
+        graph.add_edge(a, b, length=math.hypot(ax - bx, ay - by))
+
+    for row in range(height):
+        for col in range(width):
+            if col + 1 < width:
+                add_street((row, col), (row, col + 1))
+            if row + 1 < height:
+                add_street((row, col), (row + 1, col))
+
+    # Remove a fraction of streets without disconnecting the city.
+    edges = list(graph.edges)
+    rng.shuffle(edges)
+    to_remove = int(len(edges) * removal_fraction)
+    removed = 0
+    for u, v in edges:
+        if removed >= to_remove:
+            break
+        data = graph.edges[u, v]
+        graph.remove_edge(u, v)
+        if nx.is_connected(graph):
+            removed += 1
+        else:
+            graph.add_edge(u, v, **data)
+    return RoadNetwork(graph)

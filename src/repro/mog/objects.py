@@ -1,0 +1,95 @@
+"""Moving objects travelling on a road network.
+
+Each object (a car, a pedestrian with a GPS device) drives shortest
+paths between random intersections at an individual speed, reporting
+its interpolated position every tick.  Objects also carry *security
+preferences* — the set of roles currently allowed to see their
+location — which they may change over time (a person entering a casino
+blocking others from knowing their whereabouts, in the paper's
+opening example).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.mog.network import RoadNetwork
+
+__all__ = ["MovingObject"]
+
+
+class MovingObject:
+    """One object on the network, with a security preference."""
+
+    __slots__ = ("object_id", "network", "speed", "_rng", "_path",
+                 "_edge_index", "_edge_progress", "allowed_roles")
+
+    def __init__(self, object_id: int, network: RoadNetwork, *,
+                 speed: float = 10.0, rng: random.Random | None = None,
+                 allowed_roles: frozenset[str] = frozenset()):
+        self.object_id = object_id
+        self.network = network
+        self.speed = speed
+        self._rng = rng if rng is not None else random.Random(object_id)
+        self.allowed_roles = allowed_roles
+        self._path: list = []
+        self._edge_index = 0
+        self._edge_progress = 0.0
+        self._new_trip()
+
+    def _new_trip(self) -> None:
+        source = (self._path[-1] if self._path
+                  else self.network.random_node(self._rng))
+        target = self.network.random_node(self._rng)
+        tries = 0
+        while target == source and tries < 8:
+            target = self.network.random_node(self._rng)
+            tries += 1
+        if target == source:
+            self._path = [source, source]
+        else:
+            self._path = self.network.shortest_path(source, target)
+        self._edge_index = 0
+        self._edge_progress = 0.0
+
+    def position(self) -> tuple[float, float]:
+        """Current interpolated (x, y)."""
+        if self._edge_index >= len(self._path) - 1:
+            return self.network.position(self._path[-1])
+        u = self._path[self._edge_index]
+        v = self._path[self._edge_index + 1]
+        ux, uy = self.network.position(u)
+        vx, vy = self.network.position(v)
+        length = max(self.network.edge_length(u, v), 1e-9)
+        f = min(self._edge_progress / length, 1.0)
+        return ux + (vx - ux) * f, uy + (vy - uy) * f
+
+    def step(self, dt: float) -> None:
+        """Advance ``dt`` time units along the current trip."""
+        remaining = self.speed * dt
+        while remaining > 0:
+            if self._edge_index >= len(self._path) - 1:
+                self._new_trip()
+                if len(self._path) < 2:
+                    return
+            u = self._path[self._edge_index]
+            v = self._path[self._edge_index + 1]
+            length = max(self.network.edge_length(u, v), 1e-9)
+            left_on_edge = length - self._edge_progress
+            if remaining < left_on_edge:
+                self._edge_progress += remaining
+                remaining = 0.0
+            else:
+                remaining -= left_on_edge
+                self._edge_index += 1
+                self._edge_progress = 0.0
+
+    def distance_to(self, x: float, y: float) -> float:
+        px, py = self.position()
+        return math.hypot(px - x, py - y)
+
+    def __repr__(self) -> str:
+        x, y = self.position()
+        return (f"MovingObject({self.object_id}, pos=({x:.1f},{y:.1f}), "
+                f"roles={sorted(self.allowed_roles)})")

@@ -1,0 +1,69 @@
+"""Pre-/post-filtering enforcement (Section IV.A alternatives).
+
+Besides the freely placeable Security Shield, the paper sketches two
+fixed-placement alternatives for producing policy-compliant results:
+
+* **Pre-filtering** — each query pre-filters arriving tuples against
+  its own access rights *before* the query plan, discarding the sps;
+  downstream the plan consists of ordinary operators, but plans cannot
+  be shared across queries with different rights.
+* **Post-filtering** — the query executes first and the results are
+  filtered postmortem against the query's rights.
+
+Both are the same physical operator — an access filter that resolves
+each tuple's policy from the streaming sps, passes tuples whose policy
+intersects the query's roles, and (for pre-filtering) strips the sps
+from its output.  The placement, not the operator, differs; the
+``bench_ablation_ss_placement`` benchmark compares the three layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.bitmap import AbstractRoleSet, RoleSet
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.base import PolicyTracker, UnaryOperator
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["AccessFilter"]
+
+
+class AccessFilter(UnaryOperator):
+    """Fixed access-control filter for pre-/post-filtering layouts."""
+
+    def __init__(self, roles: Iterable[str] | AbstractRoleSet, *,
+                 stream_id: str = "*", strip_sps: bool = True,
+                 name: str | None = None):
+        super().__init__(name)
+        if not isinstance(roles, AbstractRoleSet):
+            roles = RoleSet(roles)
+        self.predicate = roles
+        #: Pre-filtering discards sps (the downstream plan is
+        #: security-unaware); post-filtering may keep them for the
+        #: result consumer.
+        self.strip_sps = strip_sps
+        self.tracker = PolicyTracker(stream_id)
+        self._held_sps: list[SecurityPunctuation] = []
+        self.tuples_blocked = 0
+
+    def _process(self, element: StreamElement,
+                 port: int) -> list[StreamElement]:
+        if isinstance(element, SecurityPunctuation):
+            self.tracker.observe_sp(element)
+            if not self.strip_sps:
+                self._held_sps.append(element)
+            return []
+        assert isinstance(element, DataTuple)
+        policy = self.tracker.policy_for(element)
+        self.stats.comparisons += 1
+        if not policy.permits_any(self.predicate):
+            self.tuples_blocked += 1
+            return []
+        out: list[StreamElement] = []
+        if self._held_sps:
+            out.extend(self._held_sps)
+            self._held_sps = []
+        out.append(element)
+        return out

@@ -1,0 +1,136 @@
+"""Aggregate functions for the sp-aware group-by.
+
+Aggregates maintain incremental state over a sliding window: values are
+added on arrival and removed on expiry ("every tuple changes the value
+of an aggregate twice, once when it arrives and once when it expires" —
+Section VI.A).  SUM/COUNT/AVG are O(1) both ways; MIN/MAX fall back to
+recomputation over the live values on removal, the standard approach
+for non-invertible aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PlanError
+
+__all__ = ["Aggregate", "Count", "Sum", "Avg", "Min", "Max", "make_aggregate"]
+
+
+class Aggregate:
+    """Incremental aggregate over a multiset of numeric values."""
+
+    name = "agg"
+
+    def add(self, value: object) -> None:
+        raise NotImplementedError
+
+    def remove(self, value: object, live: Iterable[object]) -> None:
+        """Remove one value; ``live`` iterates the remaining values."""
+        raise NotImplementedError
+
+    def result(self) -> object:
+        raise NotImplementedError
+
+
+class Count(Aggregate):
+    name = "count"
+
+    def __init__(self):
+        self._count = 0
+
+    def add(self, value: object) -> None:
+        self._count += 1
+
+    def remove(self, value: object, live: Iterable[object]) -> None:
+        self._count -= 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class Sum(Aggregate):
+    name = "sum"
+
+    def __init__(self):
+        self._sum = 0
+
+    def add(self, value: object) -> None:
+        self._sum += value  # type: ignore[operator]
+
+    def remove(self, value: object, live: Iterable[object]) -> None:
+        self._sum -= value  # type: ignore[operator]
+
+    def result(self) -> object:
+        return self._sum
+
+
+class Avg(Aggregate):
+    name = "avg"
+
+    def __init__(self):
+        self._sum = 0.0
+        self._count = 0
+
+    def add(self, value: object) -> None:
+        self._sum += value  # type: ignore[operator]
+        self._count += 1
+
+    def remove(self, value: object, live: Iterable[object]) -> None:
+        self._sum -= value  # type: ignore[operator]
+        self._count -= 1
+
+    def result(self) -> float | None:
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+
+class _Extremum(Aggregate):
+    """Shared MIN/MAX machinery: recompute on evicting the extremum."""
+
+    _pick = staticmethod(min)
+
+    def __init__(self):
+        self._value: object | None = None
+
+    def add(self, value: object) -> None:
+        if self._value is None:
+            self._value = value
+        else:
+            self._value = self._pick(self._value, value)
+
+    def remove(self, value: object, live: Iterable[object]) -> None:
+        if value == self._value:
+            live = list(live)
+            self._value = self._pick(live) if live else None
+
+    def result(self) -> object | None:
+        return self._value
+
+
+class Min(_Extremum):
+    name = "min"
+    _pick = staticmethod(min)
+
+
+class Max(_Extremum):
+    name = "max"
+    _pick = staticmethod(max)
+
+
+_FACTORIES = {
+    "count": Count,
+    "sum": Sum,
+    "avg": Avg,
+    "min": Min,
+    "max": Max,
+}
+
+
+def make_aggregate(name: str) -> Aggregate:
+    """Instantiate an aggregate by name (count/sum/avg/min/max)."""
+    try:
+        return _FACTORIES[name.lower()]()
+    except KeyError:
+        raise PlanError(f"unknown aggregate: {name!r}") from None

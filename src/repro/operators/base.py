@@ -1,0 +1,360 @@
+"""Operator protocol and shared sp-tracking machinery.
+
+Execution model (paper Section IV): queries are plans of pipelined
+operators.  Each operator consumes stream elements — data tuples and
+security punctuations — one at a time per input port and returns the
+list of elements it emits.  Operators are synchronous, deterministic
+and single-output, which the executor and the plan-equivalence tests
+rely on.
+
+Two reusable pieces live here:
+
+* :class:`OperatorStats` — per-operator counters and accumulated
+  processing time, feeding both the experiment harness and the
+  statistics module of the optimizer.
+* :class:`PolicyTracker` — the state machine every sp-aware operator
+  uses to interpret arriving sps: it groups consecutive same-timestamp
+  sps into sp-batches, applies ``override()`` semantics between
+  batches, and resolves per-tuple policies with segment-level caching.
+* :class:`SPEmitter` — deduplicating sp emission: an sp is written to
+  the output only when the effective output policy actually changes,
+  which is how sps stay shared across tuples downstream.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.bitmap import RoleSet
+from repro.core.policy import (EMPTY_POLICY, AccessPolicy, Policy,
+                               TuplePolicy, apply_incremental_batch,
+                               has_attribute_scope, wildcard_policy_roles)
+from repro.core.punctuation import SecurityPunctuation, Sign
+from repro.errors import PlanError, PolicyError
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+from repro.stream.window import policy_is_uniform
+
+__all__ = ["OperatorStats", "Operator", "UnaryOperator", "BinaryOperator",
+           "PolicyTracker", "SPEmitter"]
+
+_POSITIVE = Sign.POSITIVE
+
+
+class OperatorStats:
+    """Counters and timing for one operator instance."""
+
+    __slots__ = ("tuples_in", "tuples_out", "sps_in", "sps_out",
+                 "comparisons", "state_ops", "processing_time")
+
+    def __init__(self):
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.sps_in = 0
+        self.sps_out = 0
+        #: Join-condition / policy-compatibility checks performed.
+        self.comparisons = 0
+        #: State maintenance operations (window inserts/expirations,
+        #: index entry insertions/deletions).
+        self.state_ops = 0
+        #: Accumulated wall-clock seconds inside ``process()``.
+        self.processing_time = 0.0
+
+    def snapshot(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def __repr__(self) -> str:
+        return (f"OperatorStats(in={self.tuples_in}t/{self.sps_in}sp, "
+                f"out={self.tuples_out}t/{self.sps_out}sp, "
+                f"time={self.processing_time:.6f}s)")
+
+
+class Operator:
+    """Base class of all physical operators."""
+
+    #: Number of input ports (1 for unary, 2 for binary operators).
+    arity = 1
+
+    def __init__(self, name: str | None = None):
+        self.name = name or type(self).__name__
+        self.stats = OperatorStats()
+
+    def process(self, element: StreamElement,
+                port: int = 0) -> list[StreamElement]:
+        """Consume one element on ``port``; return emitted elements.
+
+        Wraps :meth:`_process` with stats accounting; subclasses
+        implement :meth:`_process`.
+        """
+        if not 0 <= port < self.arity:
+            raise PlanError(f"{self.name}: invalid port {port}")
+        start = time.perf_counter()
+        out = self._process(element, port)
+        self.stats.processing_time += time.perf_counter() - start
+        if isinstance(element, SecurityPunctuation):
+            self.stats.sps_in += 1
+        else:
+            self.stats.tuples_in += 1
+        for item in out:
+            if isinstance(item, SecurityPunctuation):
+                self.stats.sps_out += 1
+            else:
+                self.stats.tuples_out += 1
+        return out
+
+    def _process(self, element: StreamElement,
+                 port: int) -> list[StreamElement]:
+        raise NotImplementedError
+
+    def flush(self) -> list[StreamElement]:
+        """Emit anything held back at end-of-stream (default: nothing)."""
+        return []
+
+    def state_size(self) -> int:
+        """Number of elements held in operator state (for memory plots)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class UnaryOperator(Operator):
+    arity = 1
+
+
+class BinaryOperator(Operator):
+    arity = 2
+
+
+class PolicyTracker:
+    """Interprets the sp sub-stream of one input.
+
+    Maintains the *current* access policy as sps arrive:
+
+    * consecutive sps with equal timestamps and no intervening tuple
+      form an sp-batch and are interpreted as a single policy
+      (union semantics);
+    * a batch with a newer timestamp overrides the previous policy;
+    * tuples arriving before any sp fall under denial-by-default.
+
+    ``policy_for(t)`` resolves the current policy for a concrete tuple,
+    sharing one resolved :class:`TuplePolicy` across a whole segment
+    when the policy is uniform (wildcard tuple/attribute DDPs).
+    """
+
+    __slots__ = ("stream_id", "_current", "_current_raw", "_current_ts",
+                 "_batch", "_pending", "_uniform", "_shared",
+                 "_shared_any", "_cache", "attribute")
+
+    def __init__(self, stream_id: str, attribute: str | None = None):
+        #: Nominal input stream (informational; resolution always uses
+        #: each tuple's own ``sid``, so shields placed above derived
+        #: operators still match stream-scoped sps correctly).
+        self.stream_id = stream_id
+        #: Resolve policies for this attribute (None = whole tuple).
+        self.attribute = attribute
+        self._current: AccessPolicy | None = None
+        #: Raw sp batch of the current policy, materialized into a
+        #: :class:`Policy` lazily (fast path skips construction).
+        self._current_raw: tuple[SecurityPunctuation, ...] | None = None
+        self._current_ts: float | None = None
+        self._batch: list[SecurityPunctuation] = []
+        self._pending: list[SecurityPunctuation] = []
+        self._uniform = True
+        #: Per-sid shared resolution for uniform policies.
+        self._shared: dict[str, TuplePolicy] = {}
+        #: Sid-independent resolution (uniform + wildcard streams) —
+        #: the hot path for segment-shared policies.
+        self._shared_any: TuplePolicy | None = None
+        self._cache: dict[tuple[str, object], TuplePolicy] = {}
+
+    # -- sp arrival -------------------------------------------------------
+    def observe_sp(self, sp: SecurityPunctuation) -> None:
+        if self._batch and sp.ts != self._batch[0].ts:
+            self._finalize_batch()
+        self._batch.append(sp)
+
+    def _finalize_batch(self) -> None:
+        batch = self._batch
+        if not batch:
+            return
+        if any(sp.incremental for sp in batch):
+            if not all(sp.incremental for sp in batch):
+                raise PolicyError(
+                    "an sp-batch must not mix incremental and "
+                    "absolute sps")
+            current = wildcard_policy_roles(self.current_policy_if_simple())
+            if current is None:
+                raise PolicyError(
+                    "incremental sps require a segment-scoped "
+                    "(wildcard-DDP) current policy")
+            batch = apply_incremental_batch(current, batch)
+            self._batch = batch
+        ts = batch[0].ts
+        if self._current_ts is not None and ts < self._current_ts:
+            # A policy older than the current one never takes over
+            # (override() semantics); in an ordered stream this only
+            # happens with reordering slack at play.
+            self._batch = []
+            return
+        self._pending = batch
+        self._batch = []
+        self._current_raw = tuple(batch)
+        self._current_ts = ts
+        self._current = None
+        self._shared = {}
+        self._shared_any = None
+        self._cache = {}
+        # Sid-independent fast path: a batch of positive sps with fully
+        # wildcard DDPs resolves identically for every tuple.
+        fast = True
+        for sp in batch:
+            ddp = sp.ddp
+            if not (sp.sign is _POSITIVE and ddp.stream.is_wildcard()
+                    and ddp.tuple_id.is_wildcard()
+                    and ddp.attribute.is_wildcard()):
+                fast = False
+                break
+        if fast:
+            self._uniform = True
+            if len(batch) == 1:
+                roles: frozenset[str] | set[str] = batch[0].roles()
+            else:
+                roles = set()
+                for sp in batch:
+                    roles |= sp.roles()
+            self._shared_any = TuplePolicy(RoleSet(roles), ts=ts)
+        else:
+            self._materialize()
+
+    def _materialize(self) -> None:
+        """Build the full :class:`Policy` for the current batch."""
+        assert self._current_raw is not None
+        self._current = Policy(self._current_raw)
+        self._uniform = policy_is_uniform(self._current, self.stream_id)
+
+    def current_policy_if_simple(self) -> AccessPolicy | None:
+        """Current policy without finalizing a pending batch."""
+        if self._current is None and self._current_raw is not None:
+            self._materialize()
+        return self._current
+
+    def _resolve_shared(self, sid: str) -> TuplePolicy:
+        """Uniform-policy resolution for one stream id (cached).
+
+        Fast path: an all-positive leaf policy reduces to the union of
+        the roles of its sps whose stream pattern matches ``sid`` —
+        no per-object pattern evaluation needed on the hot path.
+        """
+        current = self._current
+        assert current is not None
+        if isinstance(current, Policy) and all(
+                sp.is_positive for sp in current.sps):
+            roles: set[str] = set()
+            for sp in current.sps:
+                if sp.ddp.stream.matches(sid):
+                    roles |= sp.roles()
+            resolved = TuplePolicy(RoleSet(roles), ts=current.ts)
+        else:
+            resolved = current.resolve_for_tuple(
+                sid, attribute=self.attribute)
+        self._shared[sid] = resolved
+        return resolved
+
+    # -- tuple arrival -----------------------------------------------------
+    def policy_for(self, item: DataTuple) -> TuplePolicy:
+        """Resolved policy of ``item`` under the current policy state."""
+        if self._batch:
+            self._finalize_batch()
+        if self._shared_any is not None:
+            return self._shared_any
+        if self._current is None:
+            if self._current_raw is None:
+                return EMPTY_POLICY
+            self._materialize()
+        if self._uniform:
+            shared = self._shared.get(item.sid)
+            if shared is None:
+                shared = self._resolve_shared(item.sid)
+            return shared
+        current = self._current
+        assert current is not None
+        if self.attribute is not None:
+            key = (item.sid, item.tid)
+            cached = self._cache.get(key)
+            if cached is None:
+                cached = current.resolve_for_tuple(
+                    item.sid, item.tid, self.attribute)
+                self._cache[key] = cached
+            return cached
+        if has_attribute_scope(current):
+            key = (item.sid, item.tid, tuple(item.values))
+            cached = self._cache.get(key)
+            if cached is None:
+                cached = current.resolve_for_attributes(
+                    item.sid, item.tid, item.values.keys())
+                self._cache[key] = cached
+            return cached
+        key = (item.sid, item.tid)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = current.resolve_for_tuple(item.sid, item.tid)
+            self._cache[key] = cached
+        return cached
+
+    @property
+    def current_policy(self) -> AccessPolicy | None:
+        self._finalize_batch()
+        if self._current is None and self._current_raw is not None:
+            self._materialize()
+        return self._current
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether the current policy resolves identically for all tuples."""
+        self._finalize_batch()
+        return self._uniform
+
+    def take_pending_sps(self) -> list[SecurityPunctuation]:
+        """Sps of the current policy not yet propagated downstream.
+
+        Operators that *delay* sp propagation (select — emit sps only
+        once a covered tuple passes) call this at emission time; the
+        pending list is cleared so each sp is propagated at most once.
+        """
+        self._finalize_batch()
+        pending, self._pending = self._pending, []
+        return pending
+
+    def has_pending_sps(self) -> bool:
+        return bool(self._pending) or bool(self._batch)
+
+
+class SPEmitter:
+    """Writes sps to an output stream only on policy change.
+
+    Join, duplicate elimination and group-by emit results "preceded by
+    the sp(s) depicting" the result policy.  Emitting one sp per result
+    tuple would defeat sp sharing, so this helper tracks the policy of
+    the last emitted sp and stays silent while it is unchanged.
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self):
+        self._last: TuplePolicy | None = None
+
+    def emit(self, policy: TuplePolicy, ts: float,
+             out: list[StreamElement]) -> None:
+        """Append sp(s) for ``policy`` to ``out`` if it changed."""
+        if self._last is not None and policy == self._last:
+            return
+        out.append(policy.to_sp(ts))
+        self._last = policy
+
+    def reset(self) -> None:
+        self._last = None
+

@@ -1,0 +1,53 @@
+"""Sp-aware projection (π).
+
+Table I: ``(t, Pt) ∈ πa1..an(T) iff t consists of ai and Pt ≠ ∅``.
+
+Projection discards unwanted attributes on the fly and propagates the
+streaming sps ahead of the projected tuples.  An sp whose DDP describes
+a policy *only* for projected-away attributes protects nothing that
+survives, so it is discarded from the stream as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import PlanError
+from repro.operators.base import UnaryOperator
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["Project"]
+
+
+class Project(UnaryOperator):
+    """Keep only the named attributes; prune attribute-only sps."""
+
+    def __init__(self, attributes: Iterable[str], *,
+                 keep_tid: bool = True, name: str | None = None):
+        super().__init__(name)
+        self.attributes = tuple(attributes)
+        if not self.attributes:
+            raise PlanError("projection requires at least one attribute")
+        #: Whether the tuple identifier is among the retained columns
+        #: conceptually — Rule 2's project/SS commuting cares about it.
+        self.keep_tid = keep_tid
+        self.sps_discarded = 0
+
+    def _process(self, element: StreamElement,
+                 port: int) -> list[StreamElement]:
+        if isinstance(element, SecurityPunctuation):
+            if self._sp_survives(element):
+                return [element]
+            self.sps_discarded += 1
+            return []
+        assert isinstance(element, DataTuple)
+        return [element.project(self.attributes)]
+
+    def _sp_survives(self, sp: SecurityPunctuation) -> bool:
+        """False iff the sp describes only projected-away attributes."""
+        pattern = sp.ddp.attribute
+        if pattern.is_wildcard():
+            return True
+        return any(pattern.matches(attr) for attr in self.attributes)

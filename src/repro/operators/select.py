@@ -1,0 +1,68 @@
+"""Sp-aware selection (σ).
+
+Table I: ``(t, Pt) ∈ σc(T) iff t satisfies c and Pt ≠ ∅``.
+
+A select operator drops tuples that fail the condition and *delays* sp
+propagation until at least one tuple covered by the sp's policy
+satisfies the condition; if every tuple of a policy is filtered out,
+the policy's sps are discarded as well (there is nothing downstream for
+them to protect).
+"""
+
+from __future__ import annotations
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.base import UnaryOperator
+from repro.operators.conditions import Condition, FuncCondition
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["Select"]
+
+
+class Select(UnaryOperator):
+    """Filter tuples by a condition, delaying sp propagation."""
+
+    def __init__(self, condition: Condition, *, name: str | None = None):
+        super().__init__(name)
+        if callable(condition) and not isinstance(condition, Condition):
+            condition = FuncCondition(condition)
+        self.condition: Condition = condition
+        #: Sps of the current segment not yet propagated.
+        self._held_sps: list[SecurityPunctuation] = []
+        #: Whether the previous element was a tuple (marks sp-batch /
+        #: segment boundaries).
+        self._after_tuple = False
+        self.sps_discarded = 0
+        self.tuples_dropped = 0
+
+    def _process(self, element: StreamElement,
+                 port: int) -> list[StreamElement]:
+        if isinstance(element, SecurityPunctuation):
+            if self._after_tuple and self._held_sps:
+                # The previous segment ended without any passing tuple:
+                # its sps are dropped.
+                self.sps_discarded += len(self._held_sps)
+                self._held_sps = []
+            self._after_tuple = False
+            self._held_sps.append(element)
+            return []
+        return self._process_tuple(element)
+
+    def _process_tuple(self, item: DataTuple) -> list[StreamElement]:
+        self._after_tuple = True
+        self.stats.comparisons += 1
+        if not self.condition(item):
+            self.tuples_dropped += 1
+            return []
+        out: list[StreamElement] = []
+        if self._held_sps:
+            out.extend(self._held_sps)
+            self._held_sps = []
+        out.append(item)
+        return out
+
+    def flush(self) -> list[StreamElement]:
+        self.sps_discarded += len(self._held_sps)
+        self._held_sps = []
+        return []

@@ -1,0 +1,195 @@
+"""The Security Shield (SS, ψ) operator.
+
+Table I: ``(t, Pt) ∈ ψp(T) iff Pt ∩ p ≠ ∅`` — a tuple passes the
+shield iff its access-control policy (carried by the streaming sps)
+shares at least one role with the security predicate ``p`` (the roles
+of the queries downstream).  Tuples whose policy does not satisfy the
+predicate are discarded together with their sps, preventing
+unauthorized access; sps of passing segments are propagated unchanged.
+
+Physically (Section V.A) the SS is a *stateful filter*: its state holds
+the security predicates of the upstream operators/queries, plus the
+currently buffered policy.  A newly arriving sp either extends the
+buffered policy (same timestamp — sp-batch) or replaces it (newer
+timestamp).  Once an sp-batch has been evaluated against the predicate,
+the pass/discard decision applies to every following tuple of the
+segment — the reason SS overhead shrinks as more tuples share an sp
+(Figure 8a).
+
+The ``indexed`` flag selects between a hash-set predicate membership
+test (the "predicate index on the roles in the SS state", cf. the
+grouped filter of CACQ/PSoup) and a deliberately naive linear scan of
+the role list, used as the unindexed baseline in the Figure 8b
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.bitmap import AbstractRoleSet, RoleSet
+from repro.core.policy import TuplePolicy
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.base import PolicyTracker, UnaryOperator
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["SecurityShield"]
+
+
+class SecurityShield(UnaryOperator):
+    """Access-control filter driven by streaming security punctuations."""
+
+    def __init__(self, roles: Iterable[str] | AbstractRoleSet,
+                 stream_id: str = "*", *, indexed: bool = True,
+                 conjuncts: Iterable[AbstractRoleSet] | None = None,
+                 name: str | None = None):
+        super().__init__(name)
+        if not isinstance(roles, AbstractRoleSet):
+            roles = RoleSet(roles)
+        if conjuncts is None:
+            conjuncts = (roles,)
+        else:
+            conjuncts = tuple(
+                c if isinstance(c, AbstractRoleSet) else RoleSet(c)
+                for c in conjuncts
+            ) or (roles,)
+        #: The security predicate: a conjunction of role sets
+        #: (ψ_{p1∧..∧pn}); a tuple passes iff its policy intersects
+        #: every conjunct.  A single conjunct is the common case.
+        self.conjuncts: tuple[AbstractRoleSet, ...] = tuple(conjuncts)
+        #: Union of all conjunct roles — the SS *state* whose size the
+        #: Figure 8b experiment varies.
+        self.predicate = self.conjuncts[0]
+        for extra in self.conjuncts[1:]:
+            self.predicate = self.predicate.union(extra)
+        self._predicate_list = sorted(self.predicate.names())
+        self.indexed = indexed
+        self.tracker = PolicyTracker(stream_id)
+        #: Decision for the current uniform segment (None = per-tuple).
+        self._segment_decision: bool | None = None
+        self._decision_stale = True
+        #: Sps held back until the first passing tuple of their segment.
+        self._held_sps: list[SecurityPunctuation] = []
+        #: Tuples discarded by the shield (the security selectivity).
+        self.tuples_blocked = 0
+        self.sps_blocked = 0
+
+    # -- predicate management (used by SS split/merge rewrites) -------------
+    def split(self, n_first: int = 1) -> tuple["SecurityShield",
+                                               "SecurityShield"]:
+        """Rule 1: split the conjunction into two stacked shields.
+
+        ``ψ_{p1∧..∧pn}(T) ≡ ψ_{p1..pk}(ψ_{pk+1..pn}(T))`` — the first
+        returned shield carries the first ``n_first`` conjuncts, the
+        second the rest.  Requires at least two conjuncts.
+        """
+        if not 0 < n_first < len(self.conjuncts):
+            raise ValueError(
+                f"cannot split {len(self.conjuncts)} conjunct(s) at "
+                f"{n_first}"
+            )
+        first = SecurityShield(self.conjuncts[0], self.tracker.stream_id,
+                               indexed=self.indexed,
+                               conjuncts=self.conjuncts[:n_first],
+                               name=f"{self.name}[0:{n_first}]")
+        second = SecurityShield(self.conjuncts[n_first],
+                                self.tracker.stream_id,
+                                indexed=self.indexed,
+                                conjuncts=self.conjuncts[n_first:],
+                                name=f"{self.name}[{n_first}:]")
+        return first, second
+
+    @classmethod
+    def merged(cls, shields: Iterable["SecurityShield"],
+               name: str | None = None) -> "SecurityShield":
+        """Rule 1 (reverse): one SS carrying all conjuncts of the inputs."""
+        shields = list(shields)
+        conjuncts: list[AbstractRoleSet] = []
+        stream_id = "*"
+        indexed = True
+        for shield in shields:
+            conjuncts.extend(shield.conjuncts)
+            stream_id = shield.tracker.stream_id
+            indexed = indexed and shield.indexed
+        return cls(conjuncts[0], stream_id, indexed=indexed,
+                   conjuncts=conjuncts, name=name)
+
+    # -- the predicate check ---------------------------------------------------
+    def _permits(self, policy: TuplePolicy) -> bool:
+        """``∀i: Pt ∩ pi ≠ ∅``, with or without the predicate index.
+
+        Cost model (Section VI.A): each sp must scan the SS state, so
+        the unindexed check walks the full role list; the indexed check
+        probes hash sets per policy role.
+        """
+        if self.indexed:
+            self.stats.comparisons += len(policy.roles)
+            return all(policy.permits_any(conjunct)
+                       for conjunct in self.conjuncts)
+        passing = True
+        for conjunct in self.conjuncts:
+            hit = False
+            for role in sorted(conjunct.names()):
+                self.stats.comparisons += 1
+                if role in policy.roles:
+                    hit = True
+                    # No break: the naive variant models a full scan.
+            passing = passing and hit
+        return passing
+
+    # -- element processing -------------------------------------------------
+    def _process(self, element: StreamElement,
+                 port: int) -> list[StreamElement]:
+        if isinstance(element, SecurityPunctuation):
+            self.tracker.observe_sp(element)
+            self._decision_stale = True
+            return []
+        return self._process_tuple(element)
+
+    def _process_tuple(self, item: DataTuple) -> list[StreamElement]:
+        if self._decision_stale:
+            self._refresh_decision(item)
+        if self._segment_decision is None:
+            # Non-uniform policy: decide per tuple.
+            policy = self.tracker.policy_for(item)
+            passing = self._permits(policy)
+        else:
+            passing = self._segment_decision
+        if not passing:
+            self.tuples_blocked += 1
+            return []
+        out: list[StreamElement] = []
+        if self._held_sps:
+            out.extend(self._held_sps)
+            self._held_sps = []
+        out.append(item)
+        return out
+
+    def _refresh_decision(self, item: DataTuple) -> None:
+        """Evaluate a newly finalized sp-batch against the predicate."""
+        # Sps of the previous segment still held (no passing tuple ever
+        # arrived) are now definitively discarded with their segment.
+        self.sps_blocked += len(self._held_sps)
+        self._held_sps = []
+        pending = self.tracker.take_pending_sps()
+        policy = self.tracker.policy_for(item)
+        if self.tracker.is_uniform:
+            self._segment_decision = self._permits(policy)
+            if self._segment_decision:
+                self._held_sps = pending
+            else:
+                self.sps_blocked += len(pending)
+        else:
+            # Non-uniform policy: decide per tuple; the segment's sps
+            # are released with the first tuple that passes.
+            self._segment_decision = None
+            self._held_sps = pending
+        self._decision_stale = False
+
+    def state_size(self) -> int:
+        return len(self.predicate)
+
+    def __repr__(self) -> str:
+        return (f"SecurityShield({sorted(self.predicate.names())}, "
+                f"indexed={self.indexed})")

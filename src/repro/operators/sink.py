@@ -1,0 +1,58 @@
+"""Output sinks: plan leaves collecting or counting results."""
+
+from __future__ import annotations
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.base import UnaryOperator
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["CollectingSink", "CountingSink"]
+
+
+class CollectingSink(UnaryOperator):
+    """Stores everything it receives; used by tests and examples."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name)
+        self.elements: list[StreamElement] = []
+
+    def _process(self, element: StreamElement,
+                 port: int) -> list[StreamElement]:
+        self.elements.append(element)
+        return []
+
+    def tuples(self) -> list[DataTuple]:
+        return [e for e in self.elements if isinstance(e, DataTuple)]
+
+    def sps(self) -> list[SecurityPunctuation]:
+        return [e for e in self.elements
+                if isinstance(e, SecurityPunctuation)]
+
+    def clear(self) -> None:
+        self.elements.clear()
+
+    def state_size(self) -> int:
+        return len(self.elements)
+
+
+class CountingSink(UnaryOperator):
+    """Counts results without retaining them; used by benchmarks."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name)
+        self.tuple_count = 0
+        self.sp_count = 0
+        self.first_ts: float | None = None
+        self.last_ts: float | None = None
+
+    def _process(self, element: StreamElement,
+                 port: int) -> list[StreamElement]:
+        if isinstance(element, SecurityPunctuation):
+            self.sp_count += 1
+        else:
+            self.tuple_count += 1
+            if self.first_ts is None:
+                self.first_ts = element.ts
+            self.last_ts = element.ts
+        return []

@@ -1,0 +1,44 @@
+"""Streaming substrate: schemas, tuples, elements, windows, sources."""
+
+from repro.stream.element import (StreamElement, count_elements, element_ts,
+                                  is_punctuation, is_tuple, iter_sps,
+                                  iter_tuples, split_elements)
+from repro.stream.ordering import ReorderBuffer, ensure_ordered, reorder
+from repro.stream.schema import StreamSchema
+from repro.stream.source import (CallbackSource, ListSource, StreamSource,
+                                 merge_sources)
+from repro.stream.stream import Stream
+from repro.stream.tuples import DataTuple
+from repro.stream.window import (CountPunctuatedWindow, PunctuatedWindow,
+                                 Segment, policy_is_uniform)
+from repro.stream.wire import (decode_element, dump_stream, encode_element,
+                               load_stream)
+
+__all__ = [
+    "CallbackSource",
+    "CountPunctuatedWindow",
+    "DataTuple",
+    "decode_element",
+    "dump_stream",
+    "encode_element",
+    "load_stream",
+    "ListSource",
+    "PunctuatedWindow",
+    "ReorderBuffer",
+    "Segment",
+    "Stream",
+    "StreamElement",
+    "StreamSchema",
+    "StreamSource",
+    "count_elements",
+    "element_ts",
+    "ensure_ordered",
+    "is_punctuation",
+    "is_tuple",
+    "iter_sps",
+    "iter_tuples",
+    "merge_sources",
+    "policy_is_uniform",
+    "reorder",
+    "split_elements",
+]

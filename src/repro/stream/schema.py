@@ -1,0 +1,113 @@
+"""Stream schemas.
+
+A schema names a stream and declares its attributes.  Tuples in the
+paper's model are ``t = [sid, tid, A, ts]``; the schema governs ``A``
+(the attribute set) and optionally designates which attribute plays the
+role of the tuple identifier ``tid`` (e.g. ``Patient_id`` in the
+HeartRate stream of Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import SchemaError
+
+__all__ = ["StreamSchema"]
+
+
+class StreamSchema:
+    """Schema of one data stream."""
+
+    __slots__ = ("_stream_id", "_attributes", "_key", "_positions")
+
+    def __init__(self, stream_id: str, attributes: Iterable[str],
+                 key: str | None = None):
+        attributes = tuple(attributes)
+        if not stream_id:
+            raise SchemaError("stream_id must be non-empty")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attributes in schema: {attributes}")
+        if key is not None and key not in attributes:
+            raise SchemaError(
+                f"key attribute {key!r} not among attributes {attributes}"
+            )
+        self._stream_id = stream_id
+        self._attributes = attributes
+        self._key = key
+        self._positions = {name: i for i, name in enumerate(attributes)}
+
+    @property
+    def stream_id(self) -> str:
+        return self._stream_id
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def key(self) -> str | None:
+        """The attribute used as tuple identifier, if any."""
+        return self._key
+
+    def position(self, attribute: str) -> int:
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"stream {self._stream_id!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def validate(self, values: Mapping[str, object]) -> None:
+        """Raise :class:`SchemaError` unless ``values`` fits the schema."""
+        missing = [a for a in self._attributes if a not in values]
+        extra = [a for a in values if a not in self._positions]
+        if missing or extra:
+            raise SchemaError(
+                f"tuple does not fit schema {self._stream_id!r}: "
+                f"missing={missing}, extra={extra}"
+            )
+
+    def project(self, attributes: Iterable[str],
+                stream_id: str | None = None) -> "StreamSchema":
+        """Schema restricted to ``attributes`` (order follows this schema)."""
+        wanted = set(attributes)
+        unknown = wanted - set(self._attributes)
+        if unknown:
+            raise SchemaError(
+                f"cannot project unknown attributes {sorted(unknown)} "
+                f"from stream {self._stream_id!r}"
+            )
+        kept = tuple(a for a in self._attributes if a in wanted)
+        key = self._key if self._key in wanted else None
+        return StreamSchema(stream_id or self._stream_id, kept, key=key)
+
+    def join(self, other: "StreamSchema", stream_id: str) -> "StreamSchema":
+        """Concatenated schema for join output; clashes get prefixed."""
+        names = list(self._attributes)
+        for attr in other.attributes:
+            if attr in self._positions:
+                names.append(f"{other.stream_id}.{attr}")
+            else:
+                names.append(attr)
+        return StreamSchema(stream_id, names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamSchema):
+            return NotImplemented
+        return (self._stream_id == other._stream_id
+                and self._attributes == other._attributes
+                and self._key == other._key)
+
+    def __hash__(self) -> int:
+        return hash((self._stream_id, self._attributes, self._key))
+
+    def __repr__(self) -> str:
+        return (f"StreamSchema({self._stream_id!r}, {list(self._attributes)},"
+                f" key={self._key!r})")

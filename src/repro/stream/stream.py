@@ -1,0 +1,89 @@
+"""Stream containers.
+
+A :class:`Stream` is an ordered buffer of stream elements with a schema
+— the in-memory representation of a (finite prefix of a) continuous
+data stream, used by sources, sinks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import SchemaError, StreamError
+from repro.stream.element import StreamElement, count_elements
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """An ordered, schema-checked buffer of tuples and sps."""
+
+    def __init__(self, schema: StreamSchema,
+                 elements: Iterable[StreamElement] = (), *,
+                 validate: bool = True):
+        self.schema = schema
+        self._elements: list[StreamElement] = []
+        self._validate = validate
+        self.extend(elements)
+
+    @property
+    def stream_id(self) -> str:
+        return self.schema.stream_id
+
+    def append(self, element: StreamElement) -> None:
+        if self._validate:
+            self._check(element)
+        self._elements.append(element)
+
+    def extend(self, elements: Iterable[StreamElement]) -> None:
+        for element in elements:
+            self.append(element)
+
+    def _check(self, element: StreamElement) -> None:
+        if isinstance(element, SecurityPunctuation):
+            return
+        if not isinstance(element, DataTuple):
+            raise StreamError(f"not a stream element: {element!r}")
+        if element.sid != self.schema.stream_id:
+            raise StreamError(
+                f"tuple for stream {element.sid!r} appended to "
+                f"stream {self.schema.stream_id!r}"
+            )
+        try:
+            self.schema.validate(element.values)
+        except SchemaError:
+            raise
+
+    def tuple_count(self) -> int:
+        return count_elements(self._elements)[0]
+
+    def sp_count(self) -> int:
+        return count_elements(self._elements)[1]
+
+    def elements(self) -> list[StreamElement]:
+        """A copy of the buffered elements."""
+        return list(self._elements)
+
+    def tuples(self) -> list[DataTuple]:
+        return [e for e in self._elements if isinstance(e, DataTuple)]
+
+    def sps(self) -> list[SecurityPunctuation]:
+        return [e for e in self._elements
+                if isinstance(e, SecurityPunctuation)]
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __getitem__(self, index: int) -> StreamElement:
+        return self._elements[index]
+
+    def __repr__(self) -> str:
+        n_tuples, n_sps = count_elements(self._elements)
+        return (f"Stream({self.schema.stream_id!r}, tuples={n_tuples}, "
+                f"sps={n_sps})")

@@ -1,0 +1,87 @@
+"""Wire format for punctuated streams.
+
+Data providers transmit tuples and sps to the DSMS over a network; the
+paper notes sps "can be encoded into a compact format, and in most
+cases can be included into the same network message with the data".
+This module provides a JSON-lines wire format for both element kinds,
+with loss-less round-tripping of everything the engine uses:
+
+* tuples: ``{"k": "t", "sid": ..., "tid": ..., "v": {...}, "ts": ...}``
+* sps: ``{"k": "sp", "sp": "<ddp | srp | sign | imm | ts>",
+  "p": provider}`` — the sp body reuses the paper's alphanumeric
+  format via :meth:`SecurityPunctuation.to_text`.
+
+``dump_stream``/``load_stream`` handle files or iterables of lines, so
+a provider process can pipe its punctuated stream into the server with
+nothing but line-buffered text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import StreamError
+from repro.stream.element import StreamElement
+from repro.stream.tuples import DataTuple
+
+__all__ = ["encode_element", "decode_element", "dump_stream", "load_stream"]
+
+
+def encode_element(element: StreamElement) -> str:
+    """One wire line for one stream element."""
+    if isinstance(element, SecurityPunctuation):
+        record = {"k": "sp", "sp": element.to_text()}
+        if element.provider is not None:
+            record["p"] = element.provider
+        return json.dumps(record, separators=(",", ":"))
+    if isinstance(element, DataTuple):
+        return json.dumps(
+            {"k": "t", "sid": element.sid, "tid": _jsonable(element.tid),
+             "v": element.values, "ts": element.ts},
+            separators=(",", ":"))
+    raise StreamError(f"not a stream element: {element!r}")
+
+
+def _jsonable(tid: object) -> object:
+    if isinstance(tid, tuple):
+        return list(tid)
+    return tid
+
+
+def decode_element(line: str) -> StreamElement:
+    """Parse one wire line back into a stream element."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise StreamError(f"malformed wire line: {line!r}") from exc
+    kind = record.get("k")
+    if kind == "sp":
+        return SecurityPunctuation.parse(record["sp"],
+                                         provider=record.get("p"))
+    if kind == "t":
+        tid = record["tid"]
+        if isinstance(tid, list):
+            tid = tuple(tid)
+        return DataTuple(record["sid"], tid, record["v"],
+                         float(record["ts"]))
+    raise StreamError(f"unknown wire element kind: {kind!r}")
+
+
+def dump_stream(elements: Iterable[StreamElement], fp: IO[str]) -> int:
+    """Write elements as JSON lines; returns the element count."""
+    count = 0
+    for element in elements:
+        fp.write(encode_element(element))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def load_stream(lines: Iterable[str]) -> Iterator[StreamElement]:
+    """Read elements from JSON lines (a file object works directly)."""
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield decode_element(line)

@@ -1,0 +1,20 @@
+"""Workload generators: synthetic parameter sweeps + health streams."""
+
+from repro.workloads.health import (ROLES, HealthStreamGenerator,
+                                    attribute_level_policy,
+                                    stream_level_policy, tuple_level_policy)
+from repro.workloads.synthetic import (QUERY_ROLE, SYNTH_SCHEMA, join_streams,
+                                       punctuated_stream, role_names)
+
+__all__ = [
+    "HealthStreamGenerator",
+    "QUERY_ROLE",
+    "ROLES",
+    "SYNTH_SCHEMA",
+    "attribute_level_policy",
+    "join_streams",
+    "punctuated_stream",
+    "role_names",
+    "stream_level_policy",
+    "tuple_level_policy",
+]

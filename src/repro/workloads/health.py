@@ -1,0 +1,126 @@
+"""The health-monitoring stream environment of the paper's Figure 4.
+
+Three streams — HeartRate (s1), BodyTemperature (s2), BreathingRate
+(s3) — and the role set {C, D, DM, E, GP, ND}: Cardiologist, Doctor,
+Dermatologist, Hospital Employee, General Physician, Nurse-on-Duty.
+The generator produces patient vitals with per-patient policies and
+supports the paper's three example policies (stream-, tuple- and
+attribute-granularity) plus the motivating-example escalation: when a
+patient's vitals go far above the norm, the closest ER gains access.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.patterns import literal, numeric_range, one_of, parse_pattern
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.element import StreamElement
+from repro.stream.schema import StreamSchema
+
+from repro.stream.tuples import DataTuple
+
+__all__ = [
+    "HEART_RATE_SCHEMA",
+    "BODY_TEMPERATURE_SCHEMA",
+    "BREATHING_RATE_SCHEMA",
+    "ROLES",
+    "HealthStreamGenerator",
+    "stream_level_policy",
+    "tuple_level_policy",
+    "attribute_level_policy",
+]
+
+HEART_RATE_SCHEMA = StreamSchema(
+    "HeartRate", ("patient_id", "beats_per_min"), key="patient_id")
+BODY_TEMPERATURE_SCHEMA = StreamSchema(
+    "BodyTemperature", ("patient_id", "temperature"), key="patient_id")
+BREATHING_RATE_SCHEMA = StreamSchema(
+    "BreathingRate", ("patient_id", "frequency", "depth"), key="patient_id")
+
+#: Figure 4b: Cardiologist, Doctor, Dermatologist, Hospital Employee,
+#: General Physician, Nurse-on-Duty.
+ROLES = ("C", "D", "DM", "E", "GP", "ND")
+
+
+def stream_level_policy(ts: float) -> SecurityPunctuation:
+    """Only cardiologists may query the HeartRate stream (s1)."""
+    return SecurityPunctuation.grant(
+        ["C"], ts, stream=literal("HeartRate"))
+
+
+def tuple_level_policy(ts: float) -> SecurityPunctuation:
+    """Only GPs may access tuples of patients with ids in [120, 133]."""
+    return SecurityPunctuation.grant(
+        ["GP"], ts, tuple_id=numeric_range(120, 133))
+
+
+def attribute_level_policy(ts: float) -> SecurityPunctuation:
+    """Only a doctor or nurse-on-duty may query temperature/heart beat."""
+    return SecurityPunctuation.grant(
+        ["D", "ND"], ts,
+        stream=one_of(["HeartRate", "BodyTemperature"]),
+        attribute=parse_pattern("{beats_per_min, temperature}"),
+    )
+
+
+class HealthStreamGenerator:
+    """Simulated patient vitals with per-patient policies."""
+
+    def __init__(self, *, n_patients: int = 16, first_patient_id: int = 120,
+                 doctor_roles: tuple[str, ...] = ("D",),
+                 emergency_roles: tuple[str, ...] = ("E",),
+                 emergency_bpm: float = 140.0, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.patients = list(range(first_patient_id,
+                                   first_patient_id + n_patients))
+        self.doctor_roles = doctor_roles
+        self.emergency_roles = emergency_roles
+        self.emergency_bpm = emergency_bpm
+
+    def heart_rate(self, n_readings: int) -> Iterator[StreamElement]:
+        """HeartRate stream: doctors only, ER added during emergencies.
+
+        Each patient's readings are preceded by the patient's policy;
+        when the reading spikes above ``emergency_bpm`` the patient's
+        device widens the policy with the emergency roles (the paper's
+        Example 2) and narrows it back once the vitals recover.
+        """
+        ts = 0.0
+        for reading_index in range(n_readings):
+            for patient in self.patients:
+                ts += 1.0
+                base = 60 + 25 * self.rng.random()
+                spike = (self.rng.random() < 0.08)
+                bpm = base + (90 if spike else 0)
+                roles = list(self.doctor_roles)
+                if bpm >= self.emergency_bpm:
+                    roles.extend(self.emergency_roles)
+                yield SecurityPunctuation.grant(
+                    sorted(set(roles)), ts,
+                    stream=literal("HeartRate"),
+                    tuple_id=literal(patient),
+                    provider=f"patient{patient}")
+                yield DataTuple(
+                    "HeartRate", patient,
+                    {"patient_id": patient, "beats_per_min": round(bpm, 1)},
+                    ts)
+
+    def body_temperature(self, n_readings: int) -> Iterator[StreamElement]:
+        """BodyTemperature stream: doctor + nurse-on-duty policies."""
+        ts = 0.5
+        for reading_index in range(n_readings):
+            for patient in self.patients:
+                ts += 1.0
+                temperature = 97.0 + 3.5 * self.rng.random()
+                yield SecurityPunctuation.grant(
+                    sorted(set(self.doctor_roles) | {"ND"}), ts,
+                    stream=literal("BodyTemperature"),
+                    tuple_id=literal(patient),
+                    provider=f"patient{patient}")
+                yield DataTuple(
+                    "BodyTemperature", patient,
+                    {"patient_id": patient,
+                     "temperature": round(temperature, 1)},
+                    ts)

@@ -1,0 +1,140 @@
+"""Parametrized synthetic workloads for the Section VII experiments.
+
+These generators produce punctuated streams with precisely controlled
+knobs — the independent variables of Figures 7-9:
+
+* ``tuples_per_sp`` — the sp:tuple ratio (1/1 ... 1/100);
+* ``policy_size`` — roles per sp (|R| in Figures 7c/7d);
+* ``accessible_fraction`` — fraction of segments whose policy
+  intersects a designated query role (the security selectivity);
+* ``compatibility`` — σsp of Figure 9: fraction of cross-stream
+  segment pairs with compatible policies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.element import StreamElement
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+
+__all__ = [
+    "SYNTH_SCHEMA",
+    "role_names",
+    "punctuated_stream",
+    "join_streams",
+    "QUERY_ROLE",
+]
+
+SYNTH_SCHEMA = StreamSchema("synthetic", ("object_id", "x", "y"),
+                            key="object_id")
+
+#: The role registered queries use in the Figure 7/8 experiments.
+QUERY_ROLE = "q_role"
+
+
+def role_names(count: int, prefix: str = "r") -> list[str]:
+    """``count`` synthetic role names: r1, r2, ..."""
+    return [f"{prefix}{i}" for i in range(1, count + 1)]
+
+
+def punctuated_stream(n_tuples: int, *, tuples_per_sp: int = 10,
+                      policy_size: int = 2, role_pool: int = 100,
+                      accessible_fraction: float = 0.5,
+                      stream_id: str = "synthetic",
+                      start_ts: float = 0.0, dt: float = 1.0,
+                      seed: int = 0) -> Iterator[StreamElement]:
+    """A punctuated stream with controlled sp:tuple ratio and policy size.
+
+    Each segment of ``tuples_per_sp`` tuples is preceded by one sp
+    carrying ``policy_size`` roles.  A fraction ``accessible_fraction``
+    of the segments includes :data:`QUERY_ROLE` in their policy (these
+    are the tuples a query registered under that role may see).
+    """
+    if tuples_per_sp < 1:
+        raise ValueError("tuples_per_sp must be >= 1")
+    if policy_size < 1:
+        raise ValueError("policy_size must be >= 1")
+    rng = random.Random(seed)
+    pool = role_names(max(role_pool, policy_size))
+    ts = start_ts
+    emitted = 0
+    while emitted < n_tuples:
+        ts += dt
+        accessible = rng.random() < accessible_fraction
+        fillers_needed = policy_size - (1 if accessible else 0)
+        roles = rng.sample(pool, min(fillers_needed, len(pool)))
+        if accessible:
+            roles.append(QUERY_ROLE)
+        yield SecurityPunctuation.grant(sorted(roles), ts, provider="synth")
+        for _ in range(min(tuples_per_sp, n_tuples - emitted)):
+            ts += dt
+            yield DataTuple(
+                stream_id, emitted,
+                {"object_id": emitted,
+                 "x": rng.uniform(0.0, 1000.0),
+                 "y": rng.uniform(0.0, 1000.0)},
+                ts,
+            )
+            emitted += 1
+
+
+def join_streams(n_tuples: int, *, tuples_per_sp: int = 10,
+                 compatibility: float = 0.5, match_fraction: float = 0.1,
+                 n_join_values: int = 50, window: float | None = None,
+                 seed: int = 0) -> tuple[list[StreamElement],
+                                         list[StreamElement],
+                                         StreamSchema, StreamSchema]:
+    """Two punctuated streams for the Figure 9 SAJoin experiment.
+
+    σsp (``compatibility``) controls the fraction of cross-stream
+    segment pairs with *compatible* policies: the left stream's
+    segments all carry the role ``shared``; a right-stream segment
+    carries ``shared`` with probability σsp and a private role
+    otherwise.  ``compatibility`` of 0 / 1 reproduce the paper's
+    extremes (nothing joins / everything may join).
+
+    Join values are drawn from ``n_join_values`` distinct keys so the
+    value-match probability is controlled independently of policy
+    compatibility (``match_fraction`` scales the key overlap).
+    """
+    rng = random.Random(seed)
+    left_schema = StreamSchema("left", ("key", "payload"), key="key")
+    right_schema = StreamSchema("right", ("key", "payload"), key="key")
+    shared_keys = max(1, int(n_join_values * match_fraction))
+
+    def one_stream(sid: str, compat_source: bool,
+                   stream_seed: int) -> list[StreamElement]:
+        stream_rng = random.Random(stream_seed)
+        out: list[StreamElement] = []
+        ts = 0.0
+        emitted = 0
+        while emitted < n_tuples:
+            ts += 1.0
+            if compat_source:
+                roles = ["shared"]
+            else:
+                if stream_rng.random() < compatibility:
+                    roles = ["shared"]
+                else:
+                    roles = [f"private_{sid}"]
+            out.append(SecurityPunctuation.grant(roles, ts, provider=sid))
+            for _ in range(min(tuples_per_sp, n_tuples - emitted)):
+                ts += 1.0
+                if stream_rng.random() < match_fraction:
+                    key = stream_rng.randrange(shared_keys)
+                else:
+                    key = shared_keys + stream_rng.randrange(n_join_values)
+                    if sid == "right":
+                        key += n_join_values  # disjoint non-shared keys
+                out.append(DataTuple(
+                    sid, emitted, {"key": key, "payload": emitted}, ts))
+                emitted += 1
+        return out
+
+    left = one_stream("left", True, seed * 7 + 1)
+    right = one_stream("right", False, seed * 7 + 2)
+    return left, right, left_schema, right_schema

@@ -1,0 +1,108 @@
+"""Tests for the flat RBAC model and registration locking."""
+
+import pytest
+
+from repro.access.model import Right, Subject
+from repro.access.rbac import RBACModel
+from repro.errors import AccessControlError
+
+
+@pytest.fixture
+def rbac():
+    model = RBACModel()
+    for role in ("C", "D", "ND"):
+        model.add_role(role)
+    model.add_user("alice")
+    model.assign_role("alice", "D")
+    model.assign_role("alice", "ND")
+    return model
+
+
+class TestAdministration:
+    def test_roles_of(self, rbac):
+        assert rbac.roles_of("alice") == frozenset({"D", "ND"})
+
+    def test_unknown_role_rejected(self, rbac):
+        with pytest.raises(AccessControlError):
+            rbac.assign_role("alice", "SUPERUSER")
+
+    def test_unknown_user_rejected(self, rbac):
+        with pytest.raises(AccessControlError):
+            rbac.roles_of("bob")
+
+    def test_revoke(self, rbac):
+        rbac.revoke_role("alice", "ND")
+        assert rbac.roles_of("alice") == frozenset({"D"})
+
+    def test_subject_object_accepted(self, rbac):
+        subject = rbac.add_user(Subject("bob", "Bob"))
+        assert subject.name == "Bob"
+        assert rbac.roles_of("bob") == frozenset()
+
+
+class TestSessions:
+    def test_sign_in_activates_all_by_default(self, rbac):
+        session = rbac.sign_in("alice")
+        assert session.active_roles == frozenset({"D", "ND"})
+
+    def test_sign_in_with_subset(self, rbac):
+        session = rbac.sign_in("alice", frozenset({"D"}))
+        assert session.active_roles == frozenset({"D"})
+
+    def test_at_least_one_role_required(self, rbac):
+        rbac.add_user("norole")
+        with pytest.raises(AccessControlError):
+            rbac.sign_in("norole")
+
+    def test_cannot_activate_unassigned(self, rbac):
+        with pytest.raises(AccessControlError):
+            rbac.sign_in("alice", frozenset({"C"}))
+
+    def test_principals_for_uses_session(self, rbac):
+        subject = Subject("alice")
+        rbac.sign_in("alice", frozenset({"D"}))
+        assert rbac.principals_for(subject) == frozenset({"D"})
+        rbac.sign_out("alice")
+        assert rbac.principals_for(subject) == frozenset({"D", "ND"})
+
+
+class TestLocking:
+    def test_locked_user_cannot_change_roles(self, rbac):
+        rbac.lock("alice")
+        with pytest.raises(AccessControlError):
+            rbac.assign_role("alice", "C")
+        with pytest.raises(AccessControlError):
+            rbac.revoke_role("alice", "D")
+
+    def test_unlock_restores(self, rbac):
+        rbac.lock("alice")
+        rbac.unlock("alice")
+        rbac.assign_role("alice", "C")
+        assert "C" in rbac.roles_of("alice")
+
+    def test_lock_is_counted(self, rbac):
+        rbac.lock("alice")
+        rbac.lock("alice")
+        rbac.unlock("alice")
+        assert rbac.is_locked("alice")
+        rbac.unlock("alice")
+        assert not rbac.is_locked("alice")
+
+    def test_unlock_without_lock_rejected(self, rbac):
+        with pytest.raises(AccessControlError):
+            rbac.unlock("alice")
+
+    def test_locked_user_cannot_sign_out(self, rbac):
+        rbac.sign_in("alice")
+        rbac.lock("alice")
+        with pytest.raises(AccessControlError):
+            rbac.sign_out("alice")
+
+
+class TestRights:
+    def test_read_only_model(self):
+        model = RBACModel()
+        subject = Subject("x")
+        assert model.holds(subject, Right.READ)
+        assert not model.holds(subject, Right.UPDATE)
+        assert not model.holds(subject, Right.DELETE)

@@ -1,0 +1,149 @@
+"""Tests for the Section VI.A cost model and the optimizer."""
+
+import pytest
+
+from repro.algebra.cost import CostModel
+from repro.algebra.expressions import (JoinExpr, ScanExpr, SelectExpr,
+                                       ShieldExpr)
+from repro.algebra.optimizer import Optimizer
+from repro.algebra.rules import RewriteContext
+from repro.algebra.statistics import (StatisticsCatalog, StreamStatistics)
+from repro.errors import OptimizerError
+from repro.operators.conditions import Comparison
+
+COND = Comparison("v", ">", 1)
+
+
+def catalog(**kwargs) -> StatisticsCatalog:
+    cat = StatisticsCatalog(**kwargs)
+    cat.set_stream("a", StreamStatistics(tuple_rate=100.0, sp_rate=10.0,
+                                         roles_per_sp=2.0,
+                                         role_universe_size=10))
+    cat.set_stream("b", StreamStatistics(tuple_rate=50.0, sp_rate=5.0,
+                                         roles_per_sp=2.0,
+                                         role_universe_size=10))
+    return cat
+
+
+class TestPerOperatorFormulas:
+    def test_scan_costs_nothing(self):
+        model = CostModel(catalog())
+        assert model.cost(ScanExpr("a")).total == 0.0
+
+    def test_select_cost_is_rate_sum(self):
+        """σ/π cost: Σ (λi + λspi)."""
+        model = CostModel(catalog())
+        cost = model.cost(SelectExpr(ScanExpr("a"), COND))
+        assert cost.total == pytest.approx(100.0 + 10.0)
+
+    def test_shield_cost_formula(self):
+        """SS cost: λ + λsp·(NRsp + NR)."""
+        model = CostModel(catalog())
+        shield = ShieldExpr(ScanExpr("a"), frozenset({"r1", "r2", "r3"}))
+        cost = model.cost(shield)
+        assert cost.total == pytest.approx(100.0 + 10.0 * (2.0 + 3))
+
+    def test_nested_loop_join_cost(self):
+        """NL SAJoin: λ1(N2+Nsp2) + λ2(N1+Nsp1)."""
+        model = CostModel(catalog())
+        join = JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0,
+                        variant="nl")
+        n1, nsp1 = 2.0 * 100.0, 2.0 * 10.0
+        n2, nsp2 = 2.0 * 50.0, 2.0 * 5.0
+        expected = 100.0 * (n2 + nsp2) + 50.0 * (n1 + nsp1)
+        assert model.cost(join).total == pytest.approx(expected)
+
+    def test_index_join_cheaper_when_selective(self):
+        selective = catalog(sp_compatibility=0.1)
+        nl = JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0,
+                      variant="nl")
+        ix = JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0,
+                      variant="index")
+        model = CostModel(selective)
+        assert model.cost(ix).total < model.cost(nl).total
+
+    def test_index_join_approaches_nl_at_sigma_one(self):
+        """σsp = 1 degenerates the index join to nested-loop + maintenance."""
+        model = CostModel(catalog(sp_compatibility=1.0))
+        nl = JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0,
+                      variant="nl")
+        ix = JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0,
+                      variant="index")
+        nl_cost = model.cost(nl).total
+        ix_cost = model.cost(ix).total
+        assert ix_cost >= nl_cost  # maintenance overhead on top
+        assert ix_cost == pytest.approx(nl_cost + 2.0 * (10.0 + 5.0))
+
+    def test_shield_reduces_downstream_rates(self):
+        model = CostModel(catalog())
+        shielded_then_select = SelectExpr(
+            ShieldExpr(ScanExpr("a"), frozenset({"r1"})), COND)
+        select_only = SelectExpr(ScanExpr("a"), COND)
+        shielded_breakdown = model.cost(shielded_then_select).breakdown
+        plain_breakdown = model.cost(select_only).breakdown
+        select_cost_after_shield = [
+            v for k, v in shielded_breakdown.items() if "select" in k][0]
+        select_cost_plain = [
+            v for k, v in plain_breakdown.items() if "select" in k][0]
+        assert select_cost_after_shield < select_cost_plain
+
+    def test_groupby_cost(self):
+        model = CostModel(catalog(aggregate_cost=3.0))
+        expr = ScanExpr("a").group_by("g", "sum", "v", 5.0)
+        assert model.cost(expr).total == pytest.approx(
+            2.0 * 3.0 * (100.0 + 10.0))
+
+    def test_unknown_node_rejected(self):
+        class Bogus:
+            pass
+        with pytest.raises(OptimizerError):
+            CostModel(catalog())._visit(Bogus(), {}, "root")
+
+
+class TestOptimizer:
+    def _optimizer(self, **cat_kwargs) -> Optimizer:
+        context = RewriteContext(policy_streams=frozenset({"a", "b"}))
+        return Optimizer(CostModel(catalog(**cat_kwargs)), context)
+
+    def test_pushes_shield_below_expensive_join(self):
+        """SS interleaving: ψ over ⋈ gets pushed toward the scans."""
+        optimizer = self._optimizer()
+        plan = ShieldExpr(
+            JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0),
+            frozenset({"r1"}))
+        result = optimizer.optimize(plan)
+        assert result.cost < result.initial_cost
+        # Shields now sit below the join.
+        assert max(Optimizer.shield_depths(result.plan)) >= 1
+        assert not isinstance(result.plan, ShieldExpr)
+
+    def test_optimum_is_fixpoint(self):
+        optimizer = self._optimizer()
+        plan = ShieldExpr(SelectExpr(ScanExpr("a"), COND), frozenset({"r1"}))
+        result = optimizer.optimize(plan)
+        again = optimizer.optimize(result.plan)
+        assert again.steps == 0
+        assert again.cost == pytest.approx(result.cost)
+
+    def test_greedy_matches_exhaustive_on_small_plan(self):
+        optimizer = self._optimizer()
+        plan = ShieldExpr(
+            SelectExpr(
+                JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0),
+                COND),
+            frozenset({"r1"}))
+        greedy = optimizer.optimize(plan)
+        exhaustive = optimizer.optimize_exhaustive(plan, budget=500)
+        assert greedy.cost == pytest.approx(exhaustive.cost, rel=1e-9)
+
+    def test_improvement_metric(self):
+        optimizer = self._optimizer()
+        plan = ShieldExpr(
+            JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "x", 2.0),
+            frozenset({"r1"}))
+        result = optimizer.optimize(plan)
+        assert 0.0 < result.improvement < 1.0
+
+    def test_operator_count(self):
+        plan = ShieldExpr(SelectExpr(ScanExpr("a"), COND), frozenset({"p"}))
+        assert Optimizer.operator_count(plan) == 3

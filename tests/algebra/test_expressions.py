@@ -1,0 +1,107 @@
+"""Tests for logical algebra expressions."""
+
+import pytest
+
+from repro.algebra.expressions import (DupElimExpr, GroupByExpr, JoinExpr,
+                                       ProjectExpr, ScanExpr, SelectExpr,
+                                       ShieldExpr, UnionExpr, walk)
+from repro.errors import PlanError
+from repro.operators.conditions import Comparison
+
+
+class TestConstruction:
+    def test_fluent_chain(self):
+        expr = (ScanExpr("s1")
+                .select(Comparison("v", ">", 1))
+                .project(["v"])
+                .shield({"D"}))
+        assert isinstance(expr, ShieldExpr)
+        assert isinstance(expr.input, ProjectExpr)
+        assert isinstance(expr.input.input, SelectExpr)
+        assert isinstance(expr.input.input.input, ScanExpr)
+
+    def test_scan_requires_id(self):
+        with pytest.raises(PlanError):
+            ScanExpr("")
+
+    def test_join_builder(self):
+        expr = ScanExpr("a").join(ScanExpr("b"), "x", "y", 10.0)
+        assert isinstance(expr, JoinExpr)
+        assert expr.left_on == "x" and expr.right_on == "y"
+        assert expr.variant == "index"
+
+    def test_invalid_join_variant(self):
+        with pytest.raises(PlanError):
+            JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "y", 1.0,
+                     variant="hash")
+
+
+class TestStructuralEquality:
+    def test_equal_trees(self):
+        a = ScanExpr("s").shield({"D"}).project(["v"])
+        b = ScanExpr("s").shield({"D"}).project(["v"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_role_order_irrelevant(self):
+        assert ScanExpr("s").shield({"a", "b"}) == \
+            ScanExpr("s").shield({"b", "a"})
+
+    def test_different_roles_differ(self):
+        assert ScanExpr("s").shield({"a"}) != ScanExpr("s").shield({"b"})
+
+    def test_conjunct_structure_matters(self):
+        single = ShieldExpr(ScanExpr("s"), (frozenset({"a", "b"}),))
+        double = ShieldExpr(ScanExpr("s"),
+                            (frozenset({"a"}), frozenset({"b"})))
+        assert single != double
+
+
+class TestShieldPredicates:
+    def test_roles_union_of_conjuncts(self):
+        shield = ShieldExpr(ScanExpr("s"),
+                            (frozenset({"a"}), frozenset({"b"})))
+        assert shield.roles == frozenset({"a", "b"})
+
+    def test_predicates_normalized_sorted(self):
+        a = ShieldExpr(ScanExpr("s"), (frozenset({"b"}), frozenset({"a"})))
+        b = ShieldExpr(ScanExpr("s"), (frozenset({"a"}), frozenset({"b"})))
+        assert a == b
+
+    def test_empty_predicates_rejected(self):
+        with pytest.raises(PlanError):
+            ShieldExpr(ScanExpr("s"), ())
+
+
+class TestWithChildren:
+    def test_replace_child(self):
+        expr = ScanExpr("s").shield({"D"})
+        replaced = expr.with_children(ScanExpr("other"))
+        assert replaced.input == ScanExpr("other")
+        assert replaced.predicates == expr.predicates
+
+    def test_binary_children(self):
+        join = JoinExpr(ScanExpr("a"), ScanExpr("b"), "x", "y", 5.0)
+        swapped = join.with_children(ScanExpr("b"), ScanExpr("a"))
+        assert swapped.left == ScanExpr("b")
+
+    def test_scan_rejects_children(self):
+        with pytest.raises(PlanError):
+            ScanExpr("s").with_children(ScanExpr("x"))
+
+
+class TestWalk:
+    def test_preorder(self):
+        expr = UnionExpr(ScanExpr("a"), ScanExpr("b").shield({"D"}))
+        nodes = list(walk(expr))
+        assert isinstance(nodes[0], UnionExpr)
+        assert ScanExpr("a") in nodes
+        assert ScanExpr("b") in nodes
+        assert len(nodes) == 4
+
+    def test_other_constructors(self):
+        expr = ScanExpr("s").distinct(10.0, ["v"])
+        assert isinstance(expr, DupElimExpr)
+        expr = ScanExpr("s").group_by("g", "sum", "v", 10.0)
+        assert isinstance(expr, GroupByExpr)
+        assert expr.agg == "sum"

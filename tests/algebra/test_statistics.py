@@ -1,0 +1,90 @@
+"""Tests for stream statistics, including observation from samples."""
+
+import pytest
+
+from repro.algebra.statistics import (DerivedStats, StatisticsCatalog,
+                                      StreamStatistics)
+from repro.errors import OptimizerError
+from repro.workloads.synthetic import punctuated_stream
+
+
+class TestStreamStatistics:
+    def test_role_selectivity_bounds(self):
+        stats = StreamStatistics(role_universe_size=10, roles_per_sp=2.0)
+        assert stats.role_selectivity(0) == 0.0
+        assert stats.role_selectivity(10) == 1.0
+        mid = stats.role_selectivity(5)
+        assert 0.0 < mid < 1.0
+
+    def test_role_selectivity_monotone(self):
+        stats = StreamStatistics(role_universe_size=20, roles_per_sp=3.0)
+        values = [stats.role_selectivity(k) for k in range(0, 21, 5)]
+        assert values == sorted(values)
+
+    def test_role_selectivity_accepts_frozensets(self):
+        stats = StreamStatistics(role_universe_size=4)
+        assert stats.role_selectivity(frozenset({"a", "b"})) == \
+            stats.role_selectivity(2)
+
+
+class TestCatalog:
+    def test_defaults_and_overrides(self):
+        catalog = StatisticsCatalog()
+        assert catalog.for_stream("unknown") is catalog.default
+        catalog.set_stream("s", StreamStatistics(tuple_rate=7.0))
+        assert catalog.for_stream("s").tuple_rate == 7.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(OptimizerError):
+            StatisticsCatalog().set_stream(
+                "s", StreamStatistics(tuple_rate=-1.0))
+
+    def test_base_stats_derivation(self):
+        catalog = StatisticsCatalog()
+        catalog.set_stream("s", StreamStatistics(
+            tuple_rate=50.0, sp_rate=5.0, roles_per_sp=3.0))
+        derived = catalog.base_stats("s")
+        assert isinstance(derived, DerivedStats)
+        assert derived.tuple_rate == 50.0
+        assert derived.roles_per_sp == 3.0
+
+    def test_scaled(self):
+        derived = StatisticsCatalog().base_stats("x")
+        half = derived.scaled(0.5)
+        assert half.tuple_rate == derived.tuple_rate * 0.5
+        assert half.sp_rate == derived.sp_rate * 0.5
+        thirds = derived.scaled(0.5, 0.25)
+        assert thirds.sp_rate == derived.sp_rate * 0.25
+
+    def test_join_selectivity(self):
+        catalog = StatisticsCatalog()
+        assert catalog.effective_join_selectivity(50) == pytest.approx(0.02)
+        catalog.join_selectivity = 0.1
+        assert catalog.effective_join_selectivity(50) == 0.1
+
+
+class TestObservation:
+    def test_observe_derives_real_rates(self):
+        catalog = StatisticsCatalog()
+        elements = list(punctuated_stream(
+            500, tuples_per_sp=10, policy_size=4, seed=1))
+        stats = catalog.observe("synthetic", elements,
+                                value_attribute="object_id")
+        # 500 tuples + 50 sps over ~550 time units (dt=1 per element).
+        assert stats.tuple_rate == pytest.approx(500 / 549, rel=0.05)
+        assert stats.sp_rate == pytest.approx(50 / 549, rel=0.05)
+        assert stats.roles_per_sp == pytest.approx(4.0)
+        assert stats.distinct_values == 500
+        assert catalog.for_stream("synthetic") is stats
+
+    def test_observe_ratio_matches_generation(self):
+        catalog = StatisticsCatalog()
+        elements = list(punctuated_stream(
+            300, tuples_per_sp=25, policy_size=2, seed=2))
+        stats = catalog.observe("s", elements)
+        assert stats.tuple_rate / stats.sp_rate == pytest.approx(25.0)
+
+    def test_observe_empty_sample(self):
+        stats = StatisticsCatalog().observe("s", [])
+        assert stats.tuple_rate == 0.0
+        assert stats.role_universe_size == 1

@@ -1,0 +1,14 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.schema import StreamSchema
+
+
+@pytest.fixture
+def hr_schema() -> StreamSchema:
+    """The paper's HeartRate stream schema (Figure 4)."""
+    return StreamSchema("HeartRate", ("patient_id", "beats_per_min"),
+                        key="patient_id")

@@ -1,0 +1,110 @@
+"""Tests for role universes and the set/bitmap role-set encodings."""
+
+import pytest
+
+from repro.core.bitmap import RoleBitmap, RoleSet, RoleUniverse
+from repro.errors import AccessControlError
+
+
+class TestRoleUniverse:
+    def test_registration_is_idempotent(self):
+        universe = RoleUniverse()
+        first = universe.register("C")
+        second = universe.register("C")
+        assert first == second == 0
+
+    def test_ids_are_ordered_by_registration(self):
+        universe = RoleUniverse(["a", "b", "c"])
+        assert [universe.id_of(r) for r in ("a", "b", "c")] == [0, 1, 2]
+        assert universe.roles() == ("a", "b", "c")
+
+    def test_name_round_trip(self):
+        universe = RoleUniverse(["x"])
+        assert universe.name_of(universe.id_of("x")) == "x"
+
+    def test_unknown_role_raises(self):
+        with pytest.raises(AccessControlError):
+            RoleUniverse().id_of("ghost")
+        with pytest.raises(AccessControlError):
+            RoleUniverse().name_of(3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AccessControlError):
+            RoleUniverse().register("")
+
+    def test_sort_key_registers_lazily(self):
+        universe = RoleUniverse()
+        assert universe.sort_key("new") == 0
+        assert "new" in universe
+
+
+class TestRoleSet:
+    def test_basic_ops(self):
+        a = RoleSet(["C", "D"])
+        b = RoleSet(["D", "E"])
+        assert a.intersect(b).names() == frozenset({"D"})
+        assert a.union(b).names() == frozenset({"C", "D", "E"})
+        assert a.difference(b).names() == frozenset({"C"})
+
+    def test_intersects_fast_path(self):
+        assert RoleSet(["a"]).intersects(RoleSet(["a", "b"]))
+        assert not RoleSet(["a"]).intersects(RoleSet(["b"]))
+
+    def test_string_treated_as_single_role(self):
+        assert RoleSet("doctor").names() == frozenset({"doctor"})
+
+    def test_emptiness_and_bool(self):
+        assert RoleSet().is_empty()
+        assert not RoleSet()
+        assert RoleSet(["x"])
+
+    def test_of_constructor(self):
+        assert RoleSet.of("a", "b").names() == frozenset({"a", "b"})
+
+    def test_iteration_sorted(self):
+        assert list(RoleSet(["b", "a"])) == ["a", "b"]
+
+
+class TestRoleBitmap:
+    def test_round_trip_names(self):
+        universe = RoleUniverse()
+        bitmap = RoleBitmap(universe, ["C", "D", "ND"])
+        assert bitmap.names() == frozenset({"C", "D", "ND"})
+        assert len(bitmap) == 3
+
+    def test_bitwise_ops(self):
+        universe = RoleUniverse()
+        a = RoleBitmap(universe, ["C", "D"])
+        b = RoleBitmap(universe, ["D", "E"])
+        assert a.intersect(b).names() == frozenset({"D"})
+        assert a.union(b).names() == frozenset({"C", "D", "E"})
+        assert a.difference(b).names() == frozenset({"C"})
+        assert a.intersects(b)
+
+    def test_cross_encoding_ops(self):
+        universe = RoleUniverse()
+        bitmap = RoleBitmap(universe, ["C", "D"])
+        plain = RoleSet(["D", "E"])
+        assert bitmap.intersect(plain).names() == frozenset({"D"})
+        assert plain.intersect(bitmap).names() == frozenset({"D"})
+
+    def test_set_and_bitmap_equal_when_same_roles(self):
+        universe = RoleUniverse()
+        assert RoleBitmap(universe, ["a", "b"]) == RoleSet(["a", "b"])
+
+    def test_contains(self):
+        universe = RoleUniverse()
+        bitmap = RoleBitmap(universe, ["C"])
+        assert "C" in bitmap
+        assert "D" not in bitmap
+
+    def test_different_universes_rejected(self):
+        a = RoleBitmap(RoleUniverse(), ["x"])
+        b = RoleBitmap(RoleUniverse(), ["x"])
+        with pytest.raises(AccessControlError):
+            a.intersect(b)
+
+    def test_registers_roles_in_universe(self):
+        universe = RoleUniverse()
+        RoleBitmap(universe, ["new_role"])
+        assert "new_role" in universe

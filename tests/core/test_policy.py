@@ -1,0 +1,204 @@
+"""Tests for policy semantics: match/union/intersect/override + defaults."""
+
+import pytest
+
+from repro.core.bitmap import RoleSet
+from repro.core.patterns import literal, numeric_range
+from repro.core.policy import (EMPTY_POLICY, Policy, PolicyIntersection,
+                               PolicyUnion, TuplePolicy, override,
+                               policy_from_sps)
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import PolicyError
+
+
+def grant(roles, ts=1.0, **kwargs):
+    return SecurityPunctuation.grant(roles, ts, **kwargs)
+
+
+def deny(roles, ts=1.0, **kwargs):
+    return SecurityPunctuation.deny(roles, ts, **kwargs)
+
+
+class TestLeafPolicy:
+    def test_authorized_roles_from_positive_sp(self):
+        policy = Policy([grant(["C", "D"])])
+        assert policy.authorized_roles("s1") == frozenset({"C", "D"})
+
+    def test_denial_by_default(self):
+        policy = Policy([grant(["C"], stream=literal("s1"))])
+        assert policy.authorized_roles("s2") == frozenset()
+        assert not policy.allows("C", "s2")
+
+    def test_negative_sp_subtracts(self):
+        policy = Policy([grant(["C", "D", "ND"]), deny(["ND"])])
+        assert policy.authorized_roles("s1") == frozenset({"C", "D"})
+
+    def test_negative_only_policy_authorizes_nobody(self):
+        policy = Policy([deny(["C"])])
+        assert policy.authorized_roles("s1") == frozenset()
+
+    def test_object_scoping(self):
+        policy = Policy([
+            grant(["GP"], tuple_id=numeric_range(120, 133)),
+            grant(["E"], tuple_id=literal(500)),
+        ])
+        assert policy.authorized_roles("s1", 125) == frozenset({"GP"})
+        assert policy.authorized_roles("s1", 500) == frozenset({"E"})
+        assert policy.authorized_roles("s1", 600) == frozenset()
+
+    def test_matching_sps(self):
+        sp1 = grant(["GP"], tuple_id=numeric_range(120, 133))
+        sp2 = grant(["E"], tuple_id=literal(500))
+        policy = Policy([sp1, sp2])
+        assert policy.matching_sps("s1", 125) == [sp1]
+
+    def test_mixed_timestamps_rejected(self):
+        with pytest.raises(PolicyError):
+            Policy([grant(["A"], ts=1.0), grant(["B"], ts=2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            Policy([])
+
+    def test_immutable_flag_propagates(self):
+        assert Policy([grant(["A"], immutable=True)]).immutable
+        assert not Policy([grant(["A"])]).immutable
+
+
+class TestCombinators:
+    def test_union_increases_access(self):
+        a = Policy([grant(["C"])])
+        b = Policy([grant(["D"], ts=2.0)])
+        union = a.union(b)
+        assert union.authorized_roles("s1") == frozenset({"C", "D"})
+
+    def test_same_ts_union_merges_to_leaf(self):
+        a = Policy([grant(["C"], ts=1.0)])
+        b = Policy([grant(["D"], ts=1.0)])
+        merged = a.union(b)
+        assert isinstance(merged, Policy)
+        assert merged.authorized_roles("s1") == frozenset({"C", "D"})
+
+    def test_intersection_decreases_access(self):
+        provider = Policy([grant(["C", "D", "ND"])])
+        server = Policy([grant(["C", "D"], ts=2.0)])
+        combined = provider.intersect(server)
+        assert combined.authorized_roles("s1") == frozenset({"C", "D"})
+
+    def test_intersection_respects_object_scope(self):
+        provider = Policy([grant(["C", "D"])])
+        server = Policy([grant(["C"], tuple_id=literal(5), ts=2.0)])
+        combined = provider.intersect(server)
+        assert combined.authorized_roles("s1", 5) == frozenset({"C"})
+        # Server policy does not cover tid 6: intersection is empty.
+        assert combined.authorized_roles("s1", 6) == frozenset()
+
+    def test_composite_ts_is_max(self):
+        a = Policy([grant(["C"], ts=1.0)])
+        b = Policy([grant(["D"], ts=5.0)])
+        assert a.intersect(b).ts == 5.0
+        assert PolicyUnion((a, b)).ts == 5.0
+
+    def test_nested_composites_flatten(self):
+        a = Policy([grant(["A"])])
+        b = Policy([grant(["B"], ts=2.0)])
+        c = Policy([grant(["C"], ts=3.0)])
+        nested = PolicyIntersection((PolicyIntersection((a, b)), c))
+        assert len(nested.parts) == 3
+
+
+class TestOverride:
+    def test_newer_wins(self):
+        old = Policy([grant(["C"], ts=1.0)])
+        new = Policy([grant(["D"], ts=2.0)])
+        assert override(old, new) is new
+        assert override(new, old) is new
+
+    def test_tie_goes_to_new(self):
+        old = Policy([grant(["C"], ts=1.0)])
+        new = Policy([grant(["D"], ts=1.0)])
+        assert override(old, new) is new
+
+    def test_none_old(self):
+        new = Policy([grant(["D"], ts=2.0)])
+        assert override(None, new) is new
+
+
+class TestTuplePolicy:
+    def test_permits_any(self):
+        policy = TuplePolicy(["C", "D"])
+        assert policy.permits_any(RoleSet(["D", "E"]))
+        assert not policy.permits_any(RoleSet(["E"]))
+
+    def test_intersect_keeps_max_ts(self):
+        a = TuplePolicy(["C", "D"], ts=1.0)
+        b = TuplePolicy(["D"], ts=3.0)
+        joined = a.intersect(b)
+        assert joined.roles.names() == frozenset({"D"})
+        assert joined.ts == 3.0
+
+    def test_difference_case3(self):
+        new = TuplePolicy(["A", "B", "C"])
+        common = TuplePolicy(["B"])
+        assert new.difference(common).roles.names() == frozenset({"A", "C"})
+
+    def test_empty_policy_constant(self):
+        assert EMPTY_POLICY.is_empty()
+        assert not EMPTY_POLICY.permits_any(RoleSet(["anything"]))
+
+    def test_to_sp_round_trip(self):
+        policy = TuplePolicy(["C", "D"], ts=7.0)
+        sp = policy.to_sp()
+        assert sp.roles() == frozenset({"C", "D"})
+        assert sp.ts == 7.0
+
+    def test_to_sp_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            TuplePolicy([]).to_sp()
+
+    def test_resolve_for_tuple(self):
+        policy = Policy([grant(["C"], stream=literal("s1"))])
+        resolved = policy.resolve_for_tuple("s1")
+        assert resolved.roles.names() == frozenset({"C"})
+        assert policy.resolve_for_tuple("s2").is_empty()
+
+
+class TestPolicyFromSps:
+    def test_same_provider_same_ts_unions(self):
+        policy = policy_from_sps([
+            grant(["C"], ts=1.0, provider="p"),
+            grant(["D"], ts=1.0, provider="p"),
+        ])
+        assert policy.authorized_roles("s1") == frozenset({"C", "D"})
+
+    def test_same_provider_newer_overrides(self):
+        policy = policy_from_sps([
+            grant(["C"], ts=1.0, provider="p"),
+            grant(["D"], ts=2.0, provider="p"),
+        ])
+        assert policy.authorized_roles("s1") == frozenset({"D"})
+
+    def test_server_intersects(self):
+        policy = policy_from_sps([
+            grant(["C", "D"], ts=1.0, provider="p"),
+            grant(["C"], ts=1.0),  # provider=None → server
+        ])
+        assert policy.authorized_roles("s1") == frozenset({"C"})
+
+    def test_immutable_ignores_server(self):
+        policy = policy_from_sps([
+            grant(["C", "D"], ts=1.0, provider="p", immutable=True),
+            grant(["C"], ts=1.0),
+        ])
+        assert policy.authorized_roles("s1") == frozenset({"C", "D"})
+
+    def test_distinct_providers_intersect(self):
+        policy = policy_from_sps([
+            grant(["C", "D"], ts=1.0, provider="p1"),
+            grant(["D", "E"], ts=1.0, provider="p2"),
+        ])
+        assert policy.authorized_roles("s1") == frozenset({"D"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            policy_from_sps([])

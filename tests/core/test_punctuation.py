@@ -1,0 +1,164 @@
+"""Tests for the security punctuation structure (Definition 3.1)."""
+
+import pytest
+
+from repro.core.patterns import literal, numeric_range, one_of, parse_pattern
+from repro.core.punctuation import (DataDescription, Granularity,
+                                    SecurityPunctuation, SecurityRestriction,
+                                    Sign, SPBatch)
+from repro.errors import PunctuationError
+
+
+class TestSign:
+    def test_parse_forms(self):
+        assert Sign.parse("+") is Sign.POSITIVE
+        assert Sign.parse("positive") is Sign.POSITIVE
+        assert Sign.parse("-") is Sign.NEGATIVE
+        assert Sign.parse("NEGATIVE") is Sign.NEGATIVE
+
+    def test_parse_invalid(self):
+        with pytest.raises(PunctuationError):
+            Sign.parse("maybe")
+
+
+class TestDataDescription:
+    def test_granularity_levels(self):
+        assert DataDescription().granularity() is Granularity.STREAM
+        assert DataDescription(
+            tuple_id=literal(120)).granularity() is Granularity.TUPLE
+        assert DataDescription(
+            attribute=literal("temp")).granularity() is Granularity.ATTRIBUTE
+
+    def test_describes_stream_object(self):
+        ddp = DataDescription(stream=literal("s1"))
+        assert ddp.describes("s1")
+        assert not ddp.describes("s2")
+
+    def test_tuple_scoped_ddp_does_not_describe_whole_stream(self):
+        ddp = DataDescription(stream=literal("s1"), tuple_id=literal(1))
+        assert not ddp.describes("s1")  # asks about the whole stream
+        assert ddp.describes("s1", 1)
+        assert not ddp.describes("s1", 2)
+
+    def test_attribute_matching(self):
+        ddp = DataDescription(attribute=one_of(["temp", "bpm"]))
+        assert ddp.describes("s1", 5, "temp")
+        assert not ddp.describes("s1", 5, "depth")
+
+    def test_parse_defaults_trailing_wildcards(self):
+        ddp = DataDescription.parse("s1")
+        assert ddp.tuple_id.is_wildcard()
+        assert ddp.attribute.is_wildcard()
+
+    def test_parse_three_parts(self):
+        ddp = DataDescription.parse("s1, [120-133], temp")
+        assert ddp.describes("s1", 125, "temp")
+
+    def test_parse_too_many_parts(self):
+        with pytest.raises(PunctuationError):
+            DataDescription.parse("a, b, c, d")
+
+
+class TestSecurityRestriction:
+    def test_for_roles_concrete(self):
+        srp = SecurityRestriction.for_roles(["C", "D"])
+        assert srp.concrete_roles() == frozenset({"C", "D"})
+
+    def test_for_roles_requires_roles(self):
+        with pytest.raises(PunctuationError):
+            SecurityRestriction.for_roles([])
+
+    def test_open_pattern_not_concrete(self):
+        srp = SecurityRestriction.parse("/r[0-9]+/")
+        assert srp.concrete_roles() is None
+
+    def test_resolve_against_universe(self):
+        srp = SecurityRestriction.parse("/r[0-9]+/")
+        roles = srp.resolve(["r1", "r2", "nurse"])
+        assert roles == frozenset({"r1", "r2"})
+
+    def test_authorizes(self):
+        srp = SecurityRestriction.for_roles(["D"])
+        assert srp.authorizes("D")
+        assert not srp.authorizes("C")
+
+
+class TestSecurityPunctuation:
+    def test_grant_constructor(self):
+        sp = SecurityPunctuation.grant(["D", "ND"], ts=5.0)
+        assert sp.is_positive
+        assert sp.roles() == frozenset({"D", "ND"})
+        assert sp.ts == 5.0
+        assert not sp.immutable
+
+    def test_deny_constructor(self):
+        sp = SecurityPunctuation.deny(["E"], ts=1.0)
+        assert not sp.is_positive
+        assert sp.sign is Sign.NEGATIVE
+
+    def test_describes_via_ddp(self):
+        sp = SecurityPunctuation.grant(
+            ["GP"], ts=0.0, tuple_id=numeric_range(120, 133))
+        assert sp.describes("any_stream", 125)
+        assert not sp.describes("any_stream", 140)
+
+    def test_roles_raises_on_open_pattern(self):
+        sp = SecurityPunctuation(
+            ddp=DataDescription(),
+            srp=SecurityRestriction.parse("/x.*/"),
+            ts=0.0,
+        )
+        with pytest.raises(PunctuationError):
+            sp.roles()
+
+    def test_with_roles_and_ts(self):
+        sp = SecurityPunctuation.grant(["A"], ts=1.0)
+        sp2 = sp.with_roles(["B"]).with_ts(2.0)
+        assert sp2.roles() == frozenset({"B"})
+        assert sp2.ts == 2.0
+        assert sp.roles() == frozenset({"A"})  # original untouched
+
+    def test_text_round_trip(self):
+        sp = SecurityPunctuation.grant(
+            ["C", "D"], ts=9.0,
+            stream=literal("HeartRate"),
+            tuple_id=parse_pattern("[120-133]"),
+            immutable=True)
+        parsed = SecurityPunctuation.parse(sp.to_text())
+        assert parsed.roles() == sp.roles()
+        assert parsed.ts == sp.ts
+        assert parsed.immutable
+        assert parsed.describes("HeartRate", 125)
+        assert not parsed.describes("BodyTemperature", 125)
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(PunctuationError):
+            SecurityPunctuation.parse("not an sp")
+        with pytest.raises(PunctuationError):
+            SecurityPunctuation.parse("<a | b | c>")
+        with pytest.raises(PunctuationError):
+            SecurityPunctuation.parse("<*, *, * | D | + | F | soon>")
+
+    def test_sp_ids_unique(self):
+        a = SecurityPunctuation.grant(["D"], ts=0.0)
+        b = SecurityPunctuation.grant(["D"], ts=0.0)
+        assert a.sp_id != b.sp_id
+
+
+class TestSPBatch:
+    def test_batch_shares_timestamp(self):
+        sps = [SecurityPunctuation.grant(["A"], ts=1.0),
+               SecurityPunctuation.grant(["B"], ts=1.0)]
+        batch = SPBatch(sps)
+        assert batch.ts == 1.0
+        assert len(batch) == 2
+
+    def test_mixed_timestamps_rejected(self):
+        sps = [SecurityPunctuation.grant(["A"], ts=1.0),
+               SecurityPunctuation.grant(["B"], ts=2.0)]
+        with pytest.raises(PunctuationError):
+            SPBatch(sps)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(PunctuationError):
+            SPBatch([])

@@ -1,0 +1,174 @@
+"""Tests for the CQL lexer and parser."""
+
+import pytest
+
+from repro.cql.ast import (AggregateItem, ComparisonAST, InsertSPStatement,
+                           LogicalAST, SelectItem, SelectStatement)
+from repro.cql.lexer import TokenType, tokenize
+from repro.cql.parser import parse, parse_insert_sp, parse_select
+from repro.errors import CQLSyntaxError
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("HeartRate")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "HeartRate"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'abc' \"def\"")
+        assert [t.value for t in tokens[:-1]] == ["abc", "def"]
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <= b <> c")
+        ops = [t.value for t in tokens if t.type is TokenType.OP]
+        assert ops == ["<=", "<>"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n x")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "x"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(CQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_positions_tracked(self):
+        error = None
+        try:
+            tokenize("SELECT\n  @")
+        except CQLSyntaxError as exc:
+            error = exc
+        assert error is not None
+        assert error.line == 2
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        statement = parse_select("SELECT a, b FROM s")
+        assert statement.items == [SelectItem("a"), SelectItem("b")]
+        assert statement.streams[0].name == "s"
+        assert statement.where is None
+
+    def test_star(self):
+        statement = parse_select("SELECT * FROM s")
+        assert statement.items == [SelectItem("*")]
+
+    def test_range_and_alias(self):
+        statement = parse_select("SELECT x FROM s RANGE 60 AS a")
+        ref = statement.streams[0]
+        assert ref.window == 60.0
+        assert ref.alias == "a"
+
+    def test_where_conjunction(self):
+        statement = parse_select(
+            "SELECT x FROM s WHERE x > 1 AND y = 'abc'")
+        assert isinstance(statement.where, LogicalAST)
+        assert statement.where.op == "AND"
+        comparison = statement.where.parts[1]
+        assert comparison.rhs == "abc"
+
+    def test_or_and_precedence(self):
+        statement = parse_select(
+            "SELECT x FROM s WHERE a = 1 OR b = 2 AND c = 3")
+        assert statement.where.op == "OR"
+        assert statement.where.parts[1].op == "AND"
+
+    def test_parenthesized(self):
+        statement = parse_select(
+            "SELECT x FROM s WHERE (a = 1 OR b = 2) AND c = 3")
+        assert statement.where.op == "AND"
+
+    def test_not(self):
+        statement = parse_select("SELECT x FROM s WHERE NOT a = 1")
+        from repro.cql.ast import NotAST
+        assert isinstance(statement.where, NotAST)
+
+    def test_column_comparison(self):
+        statement = parse_select("SELECT x FROM a, b WHERE a.k = b.k")
+        comparison = statement.where
+        assert isinstance(comparison, ComparisonAST)
+        assert comparison.rhs_is_column
+
+    def test_aggregate_and_group_by(self):
+        statement = parse_select(
+            "SELECT avg(bpm) FROM hr RANGE 30 GROUP BY patient")
+        assert statement.items == [AggregateItem("avg", "bpm")]
+        assert statement.group_by == "patient"
+
+    def test_count_star(self):
+        statement = parse_select("SELECT count(*) FROM s")
+        assert statement.items == [AggregateItem("count", "*")]
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT x FROM s").distinct
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CQLSyntaxError):
+            parse_select("SELECT x FROM s JUNK extra")
+
+    def test_wrong_statement_type(self):
+        with pytest.raises(CQLSyntaxError):
+            parse_insert_sp("SELECT x FROM s")
+
+
+class TestInsertSPParsing:
+    FULL = ("INSERT SP AS mysp INTO STREAM hr "
+            "LET DDP = '*, [120-133], *', SRP = '{GP, D}', "
+            "SIGN = NEGATIVE, IMMUTABLE = TRUE, TIMESTAMP = 9")
+
+    def test_full_form(self):
+        statement = parse_insert_sp(self.FULL)
+        assert isinstance(statement, InsertSPStatement)
+        assert statement.sp_name == "mysp"
+        assert statement.stream == "hr"
+        assert statement.ddp == "*, [120-133], *"
+        assert statement.srp == "{GP, D}"
+        assert statement.sign == "negative"
+        assert statement.immutable is True
+        assert statement.timestamp == 9.0
+
+    def test_minimal_form(self):
+        statement = parse_insert_sp(
+            "INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'D'")
+        assert statement.sign == "positive"
+        assert statement.immutable is False
+        assert statement.timestamp is None
+
+    def test_qualified_let_bindings(self):
+        statement = parse_insert_sp(
+            "INSERT SP AS p INTO STREAM hr "
+            "LET p.DDP = '*', p.SRP = 'D'")
+        assert statement.ddp == "*"
+
+    def test_wrong_sp_name_in_binding(self):
+        with pytest.raises(CQLSyntaxError):
+            parse_insert_sp("INSERT SP AS p INTO STREAM hr "
+                            "LET other.DDP = '*', p.SRP = 'D'")
+
+    def test_missing_required_bindings(self):
+        with pytest.raises(CQLSyntaxError):
+            parse_insert_sp("INSERT SP INTO STREAM hr LET DDP = '*'")
+
+    def test_unquoted_ddp_rejected(self):
+        with pytest.raises(CQLSyntaxError):
+            parse_insert_sp("INSERT SP INTO STREAM hr LET DDP = 5, SRP = 'D'")
+
+    def test_parse_dispatches(self):
+        assert isinstance(parse("SELECT x FROM s"), SelectStatement)
+        assert isinstance(
+            parse("INSERT SP INTO STREAM s LET DDP = '*', SRP = 'D'"),
+            InsertSPStatement)

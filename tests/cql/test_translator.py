@@ -1,0 +1,167 @@
+"""Tests for CQL → logical plan / sp translation."""
+
+import pytest
+
+from repro.algebra.expressions import (DupElimExpr, GroupByExpr, JoinExpr,
+                                       ProjectExpr, ScanExpr, SelectExpr)
+from repro.cql.translator import compile_statement
+from repro.core.punctuation import SecurityPunctuation, Sign
+from repro.errors import CQLSyntaxError
+
+
+class TestSelectTranslation:
+    def test_select_project(self):
+        expr = compile_statement("SELECT a, b FROM s WHERE a > 1")
+        assert isinstance(expr, ProjectExpr)
+        assert expr.attributes == ("a", "b")
+        assert isinstance(expr.input, SelectExpr)
+        assert isinstance(expr.input.input, ScanExpr)
+
+    def test_star_skips_projection(self):
+        expr = compile_statement("SELECT * FROM s")
+        assert isinstance(expr, ScanExpr)
+
+    def test_join_from_two_streams(self):
+        expr = compile_statement(
+            "SELECT x FROM s1 RANGE 10 AS a, s2 RANGE 10 AS b "
+            "WHERE a.k = b.k")
+        assert isinstance(expr, ProjectExpr)
+        join = expr.input
+        assert isinstance(join, JoinExpr)
+        assert join.left_on == "k" and join.right_on == "k"
+        assert join.window == 10.0
+
+    def test_join_with_local_predicate(self):
+        expr = compile_statement(
+            "SELECT x FROM s1 RANGE 10 AS a, s2 RANGE 10 AS b "
+            "WHERE a.k = b.k AND x > 3")
+        select = expr.input
+        assert isinstance(select, SelectExpr)
+        assert isinstance(select.input, JoinExpr)
+
+    def test_join_requires_equality(self):
+        with pytest.raises(CQLSyntaxError):
+            compile_statement("SELECT x FROM a, b WHERE x > 1")
+
+    def test_three_streams_rejected(self):
+        with pytest.raises(CQLSyntaxError):
+            compile_statement("SELECT x FROM a, b, c WHERE a.k = b.k")
+
+    def test_aggregate_group_by(self):
+        expr = compile_statement(
+            "SELECT avg(bpm) FROM hr RANGE 30 GROUP BY patient")
+        assert isinstance(expr, GroupByExpr)
+        assert expr.key == "patient"
+        assert expr.agg == "avg"
+        assert expr.window == 30.0
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(CQLSyntaxError):
+            compile_statement("SELECT x FROM s GROUP BY x")
+
+    def test_distinct(self):
+        expr = compile_statement("SELECT DISTINCT a FROM s RANGE 20")
+        assert isinstance(expr, DupElimExpr)
+        assert expr.attributes == ("a",)
+        assert expr.window == 20.0
+
+    def test_where_semantics(self):
+        """Translated conditions actually evaluate correctly."""
+        from repro.stream.tuples import DataTuple
+        expr = compile_statement(
+            "SELECT x FROM s WHERE x >= 2 AND NOT x = 5")
+        condition = expr.input.condition
+        assert condition(DataTuple("s", 0, {"x": 3}, 0.0))
+        assert not condition(DataTuple("s", 0, {"x": 5}, 0.0))
+        assert not condition(DataTuple("s", 0, {"x": 1}, 0.0))
+
+
+class TestInsertSPTranslation:
+    def test_basic(self):
+        sp = compile_statement(
+            "INSERT SP INTO STREAM hr LET DDP = '*, [120-133], *', "
+            "SRP = '{GP, D}', TIMESTAMP = 5", provider="patient7")
+        assert isinstance(sp, SecurityPunctuation)
+        assert sp.roles() == frozenset({"GP", "D"})
+        assert sp.ts == 5.0
+        assert sp.provider == "patient7"
+        # The target stream is folded into the wildcard stream pattern.
+        assert sp.describes("hr", 125)
+        assert not sp.describes("other", 125)
+
+    def test_explicit_stream_pattern_kept(self):
+        sp = compile_statement(
+            "INSERT SP INTO STREAM hr "
+            "LET DDP = '{hr, temp}, *, *', SRP = 'D'")
+        assert sp.describes("temp", 1)
+
+    def test_negative_immutable(self):
+        sp = compile_statement(
+            "INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'E', "
+            "SIGN = NEGATIVE, IMMUTABLE = TRUE")
+        assert sp.sign is Sign.NEGATIVE
+        assert sp.immutable
+
+    def test_default_ts(self):
+        sp = compile_statement(
+            "INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'D'",
+            default_ts=42.0)
+        assert sp.ts == 42.0
+
+
+class TestEndToEndCQL:
+    def test_cql_query_runs_on_dsms(self):
+        from repro.engine.dsms import DSMS
+        from repro.stream.schema import StreamSchema
+        from repro.stream.tuples import DataTuple
+
+        dsms = DSMS()
+        dsms.register_stream(
+            StreamSchema("hr", ("patient", "bpm")), [
+                compile_statement(
+                    "INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'D', "
+                    "TIMESTAMP = 0", provider="p"),
+                DataTuple("hr", 1, {"patient": 1, "bpm": 95}, 1.0),
+                DataTuple("hr", 2, {"patient": 2, "bpm": 60}, 2.0),
+            ])
+        expr = compile_statement("SELECT patient FROM hr WHERE bpm > 80")
+        dsms.register_query("q", expr, roles={"D"})
+        results = dsms.run()
+        assert [t.values["patient"] for t in results["q"].tuples] == [1]
+
+
+class TestUnionStatements:
+    def test_union_parses_and_translates(self):
+        from repro.algebra.expressions import UnionExpr
+        expr = compile_statement(
+            "SELECT v FROM a WHERE v > 1 UNION SELECT v FROM b")
+        assert isinstance(expr, UnionExpr)
+
+    def test_three_way_union_left_deep(self):
+        from repro.algebra.expressions import UnionExpr
+        expr = compile_statement(
+            "SELECT v FROM a UNION SELECT v FROM b UNION SELECT v FROM c")
+        assert isinstance(expr, UnionExpr)
+        assert isinstance(expr.left, UnionExpr)
+
+    def test_union_executes_with_policies(self):
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.engine.dsms import DSMS
+        from repro.stream.schema import StreamSchema
+        from repro.stream.tuples import DataTuple
+
+        dsms = DSMS()
+        dsms.register_stream(StreamSchema("a", ("v",)), [
+            SecurityPunctuation.grant(["D"], ts=0.0, provider="p"),
+            DataTuple("a", 1, {"v": 1}, 1.0),
+        ])
+        dsms.register_stream(StreamSchema("b", ("v",)), [
+            SecurityPunctuation.grant(["C"], ts=0.0, provider="p"),
+            DataTuple("b", 2, {"v": 2}, 2.0),
+        ])
+        expr = compile_statement("SELECT v FROM a UNION SELECT v FROM b")
+        dsms.register_query("doc", expr, roles={"D"})
+        dsms.register_query("both", expr, roles={"D", "C"})
+        results = dsms.run()
+        assert [t.tid for t in results["doc"].tuples] == [1]
+        assert sorted(t.tid for t in results["both"].tuples) == [1, 2]

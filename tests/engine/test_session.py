@@ -1,0 +1,130 @@
+"""Tests for the online streaming session API."""
+
+import pytest
+
+from repro.algebra.expressions import ScanExpr
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.dsms import DSMS
+from repro.errors import QueryError, StreamError
+from repro.operators.conditions import Comparison
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+
+SCHEMA = StreamSchema("s", ("v",))
+
+
+def grant(roles, ts):
+    return SecurityPunctuation.grant(roles, ts, provider="p")
+
+
+def tup(tid, ts):
+    return DataTuple("s", tid, {"v": tid}, ts)
+
+
+@pytest.fixture
+def dsms():
+    instance = DSMS()
+    instance.register_stream(SCHEMA)  # no pre-materialized source
+    instance.register_query("q", ScanExpr("s"), roles={"D"})
+    return instance
+
+
+class TestPushPull:
+    def test_results_arrive_per_push(self, dsms):
+        with dsms.open_session() as session:
+            assert session.push("s", grant(["D"], 0.0)) == {"q": []}
+            out = session.push("s", tup(1, 1.0))
+            tids = [e.tid for e in out["q"] if isinstance(e, DataTuple)]
+            assert tids == [1]
+
+    def test_policy_change_effective_immediately(self, dsms):
+        with dsms.open_session() as session:
+            session.push("s", grant(["D"], 0.0))
+            assert session.push("s", tup(1, 1.0))["q"]
+            session.push("s", grant(["C"], 2.0))
+            assert session.push("s", tup(2, 3.0))["q"] == []
+            session.push("s", grant(["D"], 4.0))
+            assert session.push("s", tup(3, 5.0))["q"]
+            assert [t.tid for t in session.results("q")] == [1, 3]
+
+    def test_sp_batch_buffered_until_released(self, dsms):
+        """Two same-ts sps are one batch: union takes effect together."""
+        with dsms.open_session() as session:
+            session.push("s", grant(["X"], 0.0))
+            session.push("s", grant(["D"], 0.0))
+            out = session.push("s", tup(1, 1.0))
+            assert [e.tid for e in out["q"]
+                    if isinstance(e, DataTuple)] == [1]
+
+    def test_push_many(self, dsms):
+        session = dsms.open_session()
+        out = session.push_many("s", [grant(["D"], 0.0), tup(1, 1.0),
+                                      tup(2, 2.0)])
+        assert len([e for e in out["q"]
+                    if isinstance(e, DataTuple)]) == 2
+
+    def test_server_policy_applies_to_pushed_sps(self):
+        dsms = DSMS()
+        dsms.register_stream(SCHEMA)
+        dsms.add_server_policy(SecurityPunctuation.grant(["C"], ts=0.0))
+        dsms.register_query("q", ScanExpr("s"), roles={"D"})
+        with dsms.open_session() as session:
+            session.push("s", grant(["D"], 0.0))  # refined to ∅ → dropped
+            assert session.push("s", tup(1, 1.0))["q"] == []
+
+
+class TestSubscriptions:
+    def test_callback_receives_results(self, dsms):
+        got = []
+        with dsms.open_session() as session:
+            session.subscribe("q", got.append)
+            session.push("s", grant(["D"], 0.0))
+            session.push("s", tup(1, 1.0))
+        tids = [e.tid for e in got if isinstance(e, DataTuple)]
+        assert tids == [1]
+
+    def test_unknown_query_rejected(self, dsms):
+        session = dsms.open_session()
+        with pytest.raises(QueryError):
+            session.subscribe("ghost", lambda e: None)
+        with pytest.raises(QueryError):
+            session.results("ghost")
+
+
+class TestLifecycle:
+    def test_out_of_order_push_rejected(self, dsms):
+        session = dsms.open_session()
+        session.push("s", tup(1, 5.0))
+        with pytest.raises(StreamError):
+            session.push("s", tup(2, 4.0))
+
+    def test_unknown_stream_rejected(self, dsms):
+        session = dsms.open_session()
+        with pytest.raises(StreamError):
+            session.push("nope", tup(1, 1.0))
+
+    def test_closed_session_rejects_pushes(self, dsms):
+        session = dsms.open_session()
+        session.close()
+        with pytest.raises(StreamError):
+            session.push("s", tup(1, 1.0))
+
+    def test_close_flushes_select_state(self):
+        dsms = DSMS()
+        dsms.register_stream(SCHEMA)
+        dsms.register_query(
+            "q", ScanExpr("s").select(Comparison("v", ">", 0)),
+            roles={"D"})
+        session = dsms.open_session()
+        session.push("s", grant(["D"], 0.0))
+        session.push("s", tup(1, 1.0))
+        final = session.close()
+        total = session.results("q")
+        assert [t.tid for t in total] == [1]
+        assert isinstance(final, dict)
+
+    def test_counts(self, dsms):
+        session = dsms.open_session()
+        session.push("s", grant(["D"], 0.0))
+        session.push("s", tup(1, 1.0))
+        assert session.elements_pushed == 2

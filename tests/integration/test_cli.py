@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.stream.wire import encode_element
+
+
+class TestExplainCommand:
+    def test_explain_plain(self, capsys):
+        code = main(["explain",
+                     "SELECT a, b FROM s WHERE a > 1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "π[a,b]" in out
+        assert "Scan(s)" in out
+
+    def test_explain_with_roles_and_costs(self, capsys):
+        code = main(["explain", "SELECT a FROM s", "--roles", "D,C"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ψ[{C,D}]" in out
+        assert "cost=" in out
+
+    def test_explain_optimized(self, capsys):
+        code = main([
+            "explain",
+            "SELECT x FROM s1 RANGE 10 AS a, s2 RANGE 10 AS b "
+            "WHERE a.k = b.k",
+            "--roles", "D", "--optimize",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-- optimized:" in out
+
+    def test_explain_rejects_insert_sp(self, capsys):
+        code = main(["explain",
+                     "INSERT SP INTO STREAM s LET DDP = '*', SRP = 'D'"])
+        assert code == 2
+
+    def test_syntax_error_reported(self, capsys):
+        code = main(["explain", "SELEKT nope"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+
+class TestSPCommand:
+    def test_translates_to_alphanumeric_format(self, capsys):
+        code = main(["sp",
+                     "INSERT SP INTO STREAM hr "
+                     "LET DDP = '*, [120-133], *', SRP = '{GP, D}', "
+                     "TIMESTAMP = 5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("<hr, [120-133], *")
+        assert "| + |" in out
+
+    def test_rejects_select(self, capsys):
+        assert main(["sp", "SELECT a FROM s"]) == 2
+
+
+class TestWireCommand:
+    def test_valid_file(self, tmp_path, capsys):
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.stream.tuples import DataTuple
+
+        path = tmp_path / "stream.jsonl"
+        elements = [
+            SecurityPunctuation.grant(["D"], ts=0.0),
+            DataTuple("s", 1, {"v": 1}, 1.0),
+            DataTuple("s", 2, {"v": 2}, 2.0),
+        ]
+        path.write_text("\n".join(encode_element(e) for e in elements))
+        code = main(["wire", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tuples:   2" in out
+        assert "sps:      1" in out
+        assert "ordered:  yes" in out
+
+    def test_unordered_file_fails(self, tmp_path, capsys):
+        from repro.stream.tuples import DataTuple
+
+        path = tmp_path / "bad.jsonl"
+        elements = [DataTuple("s", 1, {"v": 1}, 5.0),
+                    DataTuple("s", 2, {"v": 2}, 1.0)]
+        path.write_text("\n".join(encode_element(e) for e in elements))
+        assert main(["wire", str(path)]) == 1
+
+    def test_missing_file(self, capsys):
+        assert main(["wire", "/nonexistent/file.jsonl"]) == 2

@@ -1,0 +1,111 @@
+"""Tests for the interactive DSMS shell."""
+
+import io
+
+import pytest
+
+from repro.shell import Shell, run_shell
+
+
+@pytest.fixture
+def shell_and_output():
+    lines: list[str] = []
+    return Shell(out=lines.append), lines
+
+
+def setup_basic(shell: Shell) -> None:
+    shell.handle("STREAM hr patient_id beats_per_min")
+    shell.handle("QUERY doc ROLES D SELECT * FROM hr")
+
+
+class TestDeclarations:
+    def test_stream_and_query(self, shell_and_output):
+        shell, lines = shell_and_output
+        setup_basic(shell)
+        assert any("stream 'hr' registered" in line for line in lines)
+        assert any("query 'doc' registered" in line for line in lines)
+
+    def test_declarations_rejected_after_live(self, shell_and_output):
+        shell, lines = shell_and_output
+        setup_basic(shell)
+        shell.handle("INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'D', "
+                     "TIMESTAMP = 0")
+        shell.handle("STREAM other v")
+        assert any("already live" in line for line in lines)
+
+    def test_unknown_command(self, shell_and_output):
+        shell, lines = shell_and_output
+        shell.handle("FROBNICATE now")
+        assert any("unknown command" in line for line in lines)
+
+    def test_blank_and_comment_ignored(self, shell_and_output):
+        shell, lines = shell_and_output
+        shell.handle("")
+        shell.handle("-- a comment")
+        assert lines == []
+
+
+class TestLiveFlow:
+    def test_push_delivers_to_subscribers(self, shell_and_output):
+        shell, lines = shell_and_output
+        setup_basic(shell)
+        shell.handle("INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'D', "
+                     "TIMESTAMP = 0")
+        shell.handle('PUSH hr 120 {"patient_id": 120, '
+                     '"beats_per_min": 72} 1.0')
+        assert any(line.startswith("doc <- ") for line in lines)
+
+    def test_denied_push_not_delivered(self, shell_and_output):
+        shell, lines = shell_and_output
+        setup_basic(shell)
+        shell.handle("INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'C', "
+                     "TIMESTAMP = 0")
+        shell.handle('PUSH hr 120 {"patient_id": 120, '
+                     '"beats_per_min": 72} 1.0')
+        assert not any(line.startswith("doc <- ") for line in lines)
+
+    def test_results_command(self, shell_and_output):
+        shell, lines = shell_and_output
+        setup_basic(shell)
+        shell.handle("INSERT SP INTO STREAM hr LET DDP = '*', SRP = 'D', "
+                     "TIMESTAMP = 0")
+        shell.handle('PUSH hr 120 {"patient_id": 120, '
+                     '"beats_per_min": 72} 1.0')
+        shell.handle("RESULTS doc")
+        assert any("1 tuple(s)" in line for line in lines)
+
+    def test_explain_command(self, shell_and_output):
+        shell, lines = shell_and_output
+        setup_basic(shell)
+        shell.handle("EXPLAIN doc")
+        assert any("ψ[{D}]" in line for line in lines)
+
+    def test_malformed_json_reported(self, shell_and_output):
+        shell, lines = shell_and_output
+        setup_basic(shell)
+        shell.handle("PUSH hr 1 {broken json} 1.0")
+        assert any("error:" in line for line in lines)
+
+
+class TestScriptedRun:
+    def test_run_shell_over_stdin(self):
+        script = io.StringIO(
+            "STREAM s v\n"
+            "QUERY q ROLES D SELECT * FROM s\n"
+            "INSERT SP INTO STREAM s LET DDP = '*', SRP = 'D', "
+            "TIMESTAMP = 0\n"
+            'PUSH s 1 {"v": 42} 1.0\n'
+            "RESULTS q\n"
+            "QUIT\n"
+        )
+        lines: list[str] = []
+        code = run_shell(stdin=script, out=lines.append)
+        assert code == 0
+        assert any("1 tuple(s)" in line for line in lines)
+
+    def test_cli_integration(self):
+        # The CLI exposes the shell as a subcommand.
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(["shell"])
+        assert args.fn is not None

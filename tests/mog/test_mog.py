@@ -1,0 +1,122 @@
+"""Tests for the moving-objects workload (network, objects, generator)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.mog.generator import LOCATION_SCHEMA, MovingObjectsGenerator
+from repro.mog.network import make_city_network
+from repro.mog.objects import MovingObject
+from repro.stream.element import count_elements, is_punctuation, is_tuple
+from repro.stream.ordering import ensure_ordered
+from repro.stream.tuples import DataTuple
+
+
+class TestNetwork:
+    def test_connected(self):
+        network = make_city_network(8, 8, seed=1)
+        assert nx.is_connected(network.graph)
+
+    def test_some_streets_removed(self):
+        full_edges = 2 * 8 * 8 - 8 - 8  # grid edge count
+        network = make_city_network(8, 8, removal_fraction=0.1, seed=1)
+        assert network.edge_count() < full_edges
+
+    def test_positions_and_lengths(self):
+        network = make_city_network(4, 4, seed=2)
+        node = network.random_node(__import__("random").Random(0))
+        x, y = network.position(node)
+        assert isinstance(x, float) and isinstance(y, float)
+        u, v = next(iter(network.graph.edges))
+        assert network.edge_length(u, v) > 0
+
+    def test_shortest_path_endpoints(self):
+        network = make_city_network(5, 5, seed=3)
+        path = network.shortest_path((0, 0), (4, 4))
+        assert path[0] == (0, 0)
+        assert path[-1] == (4, 4)
+
+    def test_deterministic_by_seed(self):
+        a = make_city_network(6, 6, seed=42)
+        b = make_city_network(6, 6, seed=42)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+
+class TestMovingObject:
+    def test_moves_over_time(self):
+        network = make_city_network(6, 6, seed=0)
+        obj = MovingObject(1, network, speed=20.0)
+        start = obj.position()
+        obj.step(5.0)
+        assert obj.position() != start
+
+    def test_keeps_moving_across_trips(self):
+        network = make_city_network(4, 4, seed=0)
+        obj = MovingObject(2, network, speed=100.0)
+        positions = set()
+        for _ in range(50):
+            obj.step(1.0)
+            positions.add(obj.position())
+        assert len(positions) > 10
+
+    def test_distance(self):
+        network = make_city_network(4, 4, seed=0)
+        obj = MovingObject(3, network)
+        x, y = obj.position()
+        assert obj.distance_to(x, y) == pytest.approx(0.0)
+
+
+class TestGenerator:
+    def test_segment_mode_ratio(self):
+        gen = MovingObjectsGenerator(n_objects=10, tuples_per_sp=5, seed=1)
+        elements = gen.materialize(n_ticks=10)
+        n_tuples, n_sps = count_elements(elements)
+        assert n_tuples == 100
+        assert n_sps == n_tuples / 5
+
+    def test_elements_are_timestamp_ordered(self):
+        gen = MovingObjectsGenerator(n_objects=5, seed=2)
+        list(ensure_ordered(gen.elements(5)))  # raises if unordered
+
+    def test_sp_precedes_its_segment(self):
+        gen = MovingObjectsGenerator(n_objects=3, tuples_per_sp=4, seed=3)
+        elements = gen.materialize(n_ticks=4)
+        assert is_punctuation(elements[0])
+
+    def test_tuples_fit_schema(self):
+        gen = MovingObjectsGenerator(n_objects=3, seed=4)
+        for element in gen.materialize(2):
+            if is_tuple(element):
+                LOCATION_SCHEMA.validate(element.values)
+
+    def test_policies_drawn_from_configured_roles(self):
+        gen = MovingObjectsGenerator(n_objects=4, roles=("ra", "rb"),
+                                     roles_per_policy=1, seed=5)
+        for element in gen.materialize(3):
+            if isinstance(element, SecurityPunctuation):
+                assert element.roles() <= {"ra", "rb"}
+
+    def test_per_object_mode_sp_per_tuple(self):
+        gen = MovingObjectsGenerator(n_objects=4, policy_mode="per-object",
+                                     seed=6)
+        elements = gen.materialize(3)
+        n_tuples, n_sps = count_elements(elements)
+        assert n_tuples == n_sps == 12
+        # Each sp is scoped to exactly the object of the next tuple.
+        for sp, item in zip(elements[::2], elements[1::2]):
+            assert isinstance(sp, SecurityPunctuation)
+            assert isinstance(item, DataTuple)
+            assert sp.describes("locations", item.tid)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MovingObjectsGenerator(policy_mode="bogus")
+
+    def test_deterministic_by_seed(self):
+        gen_a = MovingObjectsGenerator(n_objects=3, seed=9)
+        gen_b = MovingObjectsGenerator(n_objects=3, seed=9)
+        tids_a = [e.tid for e in gen_a.materialize(3)
+                  if isinstance(e, DataTuple)]
+        tids_b = [e.tid for e in gen_b.materialize(3)
+                  if isinstance(e, DataTuple)]
+        assert tids_a == tids_b

@@ -1,0 +1,90 @@
+"""Tests for selection/join condition objects."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.operators.conditions import (And, Comparison, FuncCondition, Not,
+                                        Or, TrueCondition)
+from repro.stream.tuples import DataTuple
+
+
+def tup(**values):
+    return DataTuple("s", 0, values, 0.0)
+
+
+class TestComparison:
+    @pytest.mark.parametrize("op,value,expected", [
+        ("=", 5, True), ("==", 5, True), ("!=", 5, False),
+        ("<>", 5, False), ("<", 6, True), ("<=", 5, True),
+        (">", 4, True), (">=", 6, False),
+    ])
+    def test_operators(self, op, value, expected):
+        assert Comparison("x", op, value)(tup(x=5)) is expected
+
+    def test_attribute_vs_attribute(self):
+        condition = Comparison("x", "=", "y", rhs_attribute=True)
+        assert condition(tup(x=3, y=3))
+        assert not condition(tup(x=3, y=4))
+
+    def test_missing_attribute_is_false(self):
+        assert not Comparison("missing", "=", 1)(tup(x=1))
+
+    def test_type_error_is_false(self):
+        assert not Comparison("x", "<", 5)(tup(x="string"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Comparison("x", "LIKE", 1)
+
+    def test_attributes_footprint(self):
+        assert Comparison("x", "=", 1).attributes() == frozenset({"x"})
+        both = Comparison("x", "=", "y", rhs_attribute=True)
+        assert both.attributes() == frozenset({"x", "y"})
+
+
+class TestCombinators:
+    def test_and(self):
+        condition = Comparison("x", ">", 1) & Comparison("x", "<", 5)
+        assert condition(tup(x=3))
+        assert not condition(tup(x=7))
+
+    def test_or(self):
+        condition = Comparison("x", "=", 1) | Comparison("x", "=", 2)
+        assert condition(tup(x=2))
+        assert not condition(tup(x=3))
+
+    def test_not(self):
+        condition = ~Comparison("x", "=", 1)
+        assert condition(tup(x=2))
+        assert not condition(tup(x=1))
+
+    def test_and_flattens(self):
+        a, b, c = (Comparison("x", "=", i) for i in range(3))
+        condition = And((And((a, b)), c))
+        assert len(condition.parts) == 3
+
+    def test_conjuncts(self):
+        a = Comparison("x", ">", 1)
+        b = Comparison("y", "<", 2)
+        assert And((a, b)).conjuncts() == [a, b]
+        assert a.conjuncts() == [a]
+
+    def test_attribute_union(self):
+        condition = Comparison("x", "=", 1) & Comparison("y", "=", 2)
+        assert condition.attributes() == frozenset({"x", "y"})
+        condition = Or((Comparison("x", "=", 1), Comparison("z", "=", 2)))
+        assert condition.attributes() == frozenset({"x", "z"})
+        assert Not(Comparison("w", "=", 0)).attributes() == frozenset({"w"})
+
+
+class TestSpecial:
+    def test_true_condition(self):
+        assert TrueCondition()(tup(x=0))
+        assert TrueCondition().attributes() == frozenset()
+
+    def test_func_condition(self):
+        condition = FuncCondition(lambda t: t.values["x"] % 2 == 0,
+                                  attributes=("x",), label="even")
+        assert condition(tup(x=4))
+        assert not condition(tup(x=3))
+        assert condition.attributes() == frozenset({"x"})

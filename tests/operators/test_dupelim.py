@@ -1,0 +1,113 @@
+"""Tests for sp-aware duplicate elimination (Table I / IV.B: δ)."""
+
+import pytest
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import PlanError
+from repro.operators.dupelim import DuplicateElimination
+from repro.stream.tuples import DataTuple
+
+
+def grant(roles, ts):
+    return SecurityPunctuation.grant(roles, ts)
+
+
+def tup(tid, value, ts):
+    return DataTuple("s", tid, {"v": value}, ts)
+
+
+def drive(op, elements):
+    out = []
+    for element in elements:
+        out.extend(op.process(element))
+    return out
+
+
+def out_values(elements):
+    return [e.values["v"] for e in elements if isinstance(e, DataTuple)]
+
+
+def sp_roles(elements):
+    return [e.roles() for e in elements
+            if isinstance(e, SecurityPunctuation)]
+
+
+class TestBasics:
+    def test_distinct_values_pass(self):
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        out = drive(de, [grant(["D"], 0.0), tup(1, "a", 1.0),
+                         tup(2, "b", 2.0)])
+        assert out_values(out) == ["a", "b"]
+
+    def test_duplicate_same_policy_suppressed(self):
+        """Case 2: Pold ∩ Pnew = Pnew → nothing emitted."""
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        out = drive(de, [grant(["D"], 0.0), tup(1, "a", 1.0),
+                         tup(2, "a", 2.0)])
+        assert out_values(out) == ["a"]
+        assert de.duplicates_suppressed == 1
+
+    def test_case1_disjoint_policy_reemits(self):
+        """Case 1: Pold ∩ Pnew = ∅ → re-emit with Pnew, store Pnew."""
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        out = drive(de, [
+            grant(["D"], 0.0), tup(1, "a", 1.0),
+            grant(["C"], 2.0), tup(2, "a", 3.0),
+        ])
+        assert out_values(out) == ["a", "a"]
+        assert sp_roles(out) == [frozenset({"D"}), frozenset({"C"})]
+
+    def test_case3_partial_overlap_emits_difference(self):
+        """Case 3: emit Pnew − (Pold ∩ Pnew)."""
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        out = drive(de, [
+            grant(["D"], 0.0), tup(1, "a", 1.0),
+            grant(["D", "C"], 2.0), tup(2, "a", 3.0),
+        ])
+        assert out_values(out) == ["a", "a"]
+        assert sp_roles(out)[-1] == frozenset({"C"})
+
+    def test_case3_stored_union_suppresses_followups(self):
+        """After case 3, both old and new roles count as 'have seen'."""
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        out = drive(de, [
+            grant(["D"], 0.0), tup(1, "a", 1.0),
+            grant(["D", "C"], 2.0), tup(2, "a", 3.0),
+            grant(["C"], 4.0), tup(3, "a", 5.0),   # C already saw "a"
+            grant(["D"], 6.0), tup(4, "a", 7.0),   # D already saw "a"
+        ])
+        assert out_values(out) == ["a", "a"]
+        assert de.duplicates_suppressed == 2
+
+    def test_expiry_allows_reemission(self):
+        de = DuplicateElimination(window=10.0, attributes=("v",))
+        out = drive(de, [
+            grant(["D"], 0.0), tup(1, "a", 1.0),
+            tup(2, "a", 50.0),  # far past the window: entry expired
+        ])
+        assert out_values(out) == ["a", "a"]
+
+    def test_denied_tuple_neither_output_nor_remembered(self):
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        out = drive(de, [
+            tup(1, "a", 1.0),                # denial-by-default
+            grant(["D"], 2.0), tup(2, "a", 3.0),
+        ])
+        assert out_values(out) == ["a"]
+        assert sp_roles(out) == [frozenset({"D"})]
+
+    def test_whole_tuple_distinctness_default(self):
+        de = DuplicateElimination(window=100.0)
+        out = drive(de, [grant(["D"], 0.0),
+                         DataTuple("s", 1, {"v": 1, "w": 1}, 1.0),
+                         DataTuple("s", 2, {"v": 1, "w": 2}, 2.0)])
+        assert len(out_values(out)) == 2  # differ in attribute w
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(PlanError):
+            DuplicateElimination(window=0.0)
+
+    def test_state_size(self):
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        drive(de, [grant(["D"], 0.0), tup(1, "a", 1.0), tup(2, "b", 2.0)])
+        assert de.state_size() == 2

@@ -1,0 +1,160 @@
+"""Tests for aggregates and the sp-aware group-by (ASG partitioning)."""
+
+import pytest
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import PlanError
+from repro.operators.aggregates import (Avg, Count, Max, Min, Sum,
+                                        make_aggregate)
+from repro.operators.groupby import GroupBy
+from repro.stream.tuples import DataTuple
+
+
+def grant(roles, ts):
+    return SecurityPunctuation.grant(roles, ts)
+
+
+def tup(tid, group, value, ts):
+    return DataTuple("s", tid, {"g": group, "v": value}, ts)
+
+
+def drive(op, elements):
+    out = []
+    for element in elements:
+        out.extend(op.process(element))
+    return out
+
+
+def results(elements, agg="sum(v)"):
+    return [(e.values.get("g"), e.values[agg]) for e in elements
+            if isinstance(e, DataTuple)]
+
+
+class TestAggregates:
+    def test_count(self):
+        agg = Count()
+        agg.add(5)
+        agg.add(7)
+        agg.remove(5, [7])
+        assert agg.result() == 1
+
+    def test_sum(self):
+        agg = Sum()
+        for value in (1, 2, 3):
+            agg.add(value)
+        agg.remove(2, [1, 3])
+        assert agg.result() == 4
+
+    def test_avg(self):
+        agg = Avg()
+        agg.add(2)
+        agg.add(4)
+        assert agg.result() == 3.0
+        agg.remove(2, [4])
+        assert agg.result() == 4.0
+        agg.remove(4, [])
+        assert agg.result() is None
+
+    def test_min_recomputes_on_extremum_removal(self):
+        agg = Min()
+        for value in (5, 2, 9):
+            agg.add(value)
+        assert agg.result() == 2
+        agg.remove(2, [5, 9])
+        assert agg.result() == 5
+
+    def test_max(self):
+        agg = Max()
+        for value in (5, 2, 9):
+            agg.add(value)
+        agg.remove(9, [5, 2])
+        assert agg.result() == 5
+
+    def test_factory(self):
+        assert isinstance(make_aggregate("AVG"), Avg)
+        with pytest.raises(PlanError):
+            make_aggregate("median")
+
+
+class TestGroupBy:
+    def test_incremental_results_per_group(self):
+        gb = GroupBy("g", "sum", "v", window=100.0)
+        out = drive(gb, [
+            grant(["D"], 0.0),
+            tup(1, "x", 10, 1.0), tup(2, "x", 5, 2.0), tup(3, "y", 2, 3.0),
+        ])
+        assert results(out) == [("x", 10), ("x", 15), ("y", 2)]
+
+    def test_results_preceded_by_subgroup_policy(self):
+        gb = GroupBy("g", "count", "v", window=100.0)
+        out = drive(gb, [grant(["D", "ND"], 0.0), tup(1, "x", 1, 1.0)])
+        assert isinstance(out[0], SecurityPunctuation)
+        assert out[0].roles() == frozenset({"D", "ND"})
+
+    def test_asg_partitioning_disjoint_policies(self):
+        """Tuples with non-intersecting policies form separate ASGs."""
+        gb = GroupBy("g", "sum", "v", window=100.0)
+        out = drive(gb, [
+            grant(["D"], 0.0), tup(1, "x", 10, 1.0),
+            grant(["C"], 2.0), tup(2, "x", 5, 3.0),
+        ])
+        # Two subgroup results for the same group value, not 10+5=15.
+        assert results(out) == [("x", 10), ("x", 5)]
+
+    def test_intersecting_policies_share_asg(self):
+        gb = GroupBy("g", "sum", "v", window=100.0)
+        out = drive(gb, [
+            grant(["D"], 0.0), tup(1, "x", 10, 1.0),
+            grant(["D", "C"], 2.0), tup(2, "x", 5, 3.0),
+        ])
+        assert results(out) == [("x", 10), ("x", 15)]
+        # Subgroup policy widens to the union.
+        last_sp = [e for e in out
+                   if isinstance(e, SecurityPunctuation)][-1]
+        assert last_sp.roles() == frozenset({"D", "C"})
+
+    def test_bridging_policy_merges_asgs(self):
+        gb = GroupBy("g", "sum", "v", window=100.0)
+        out = drive(gb, [
+            grant(["D"], 0.0), tup(1, "x", 10, 1.0),
+            grant(["C"], 2.0), tup(2, "x", 5, 3.0),
+            grant(["D", "C"], 4.0), tup(3, "x", 1, 5.0),  # bridges both
+        ])
+        assert results(out)[-1] == ("x", 16)
+        assert gb.merges == 1
+
+    def test_expiry_refreshes_results(self):
+        gb = GroupBy("g", "sum", "v", window=10.0)
+        out = drive(gb, [
+            grant(["D"], 0.0), tup(1, "x", 10, 1.0), tup(2, "x", 5, 2.0),
+            tup(3, "x", 1, 20.0),  # ts 1 and 2 expired by now
+        ])
+        assert results(out) == [("x", 10), ("x", 15), ("x", 1)]
+
+    def test_single_group_aggregation(self):
+        gb = GroupBy(None, "count", "v", window=100.0)
+        out = drive(gb, [grant(["D"], 0.0), tup(1, "x", 1, 1.0),
+                         tup(2, "y", 2, 2.0)])
+        counts = [e.values["count(v)"] for e in out
+                  if isinstance(e, DataTuple)]
+        assert counts == [1, 2]
+
+    def test_denied_tuples_excluded_from_aggregates(self):
+        gb = GroupBy("g", "sum", "v", window=100.0)
+        out = drive(gb, [
+            tup(1, "x", 100, 1.0),  # no sp → denied
+            grant(["D"], 2.0), tup(2, "x", 5, 3.0),
+        ])
+        assert results(out) == [("x", 5)]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(PlanError):
+            GroupBy("g", "sum", "v", window=0.0)
+        with pytest.raises(PlanError):
+            GroupBy("g", "nope", "v", window=1.0)
+
+    def test_state_size(self):
+        gb = GroupBy("g", "sum", "v", window=100.0)
+        drive(gb, [grant(["D"], 0.0), tup(1, "x", 1, 1.0),
+                   tup(2, "y", 2, 2.0)])
+        assert gb.state_size() == 2

@@ -1,0 +1,208 @@
+"""Tests for the SAJoin operators (nested-loop PF/FP and index)."""
+
+import pytest
+
+from repro.core.bitmap import RoleUniverse
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import PlanError
+from repro.operators.index_join import IndexSAJoin
+from repro.operators.join import NestedLoopSAJoin
+from repro.stream.tuples import DataTuple
+
+
+def grant(roles, ts):
+    return SecurityPunctuation.grant(roles, ts)
+
+
+def left(tid, key, ts):
+    return DataTuple("left", tid, {"key": key, "payload": tid}, ts)
+
+
+def right(tid, key, ts):
+    return DataTuple("right", tid, {"key": key, "payload": tid}, ts)
+
+
+def drive(join, feed):
+    """feed = [(port, element), ...]; returns output elements."""
+    out = []
+    for port, element in feed:
+        out.extend(join.process(element, port))
+    return out
+
+
+def result_tids(elements):
+    return [e.tid for e in elements if isinstance(e, DataTuple)]
+
+
+ALL_VARIANTS = [
+    lambda: NestedLoopSAJoin("key", "key", 100.0, method="PF"),
+    lambda: NestedLoopSAJoin("key", "key", 100.0, method="FP"),
+    lambda: IndexSAJoin("key", "key", 100.0, universe=RoleUniverse()),
+]
+
+
+@pytest.mark.parametrize("make_join", ALL_VARIANTS)
+class TestJoinSemantics:
+    def test_matching_values_compatible_policies_join(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (0, grant(["D"], 0.0)), (0, left(1, 7, 1.0)),
+            (1, grant(["D", "C"], 0.0)), (1, right(2, 7, 2.0)),
+        ])
+        assert result_tids(out) == [(1, 2)]
+        # Output sp carries the policy intersection.
+        sp = next(e for e in out if isinstance(e, SecurityPunctuation))
+        assert sp.roles() == frozenset({"D"})
+
+    def test_incompatible_policies_suppress_result(self, make_join):
+        """Table I: join results of policy-incompatible tuples go."""
+        join = make_join()
+        out = drive(join, [
+            (0, grant(["D"], 0.0)), (0, left(1, 7, 1.0)),
+            (1, grant(["C"], 0.0)), (1, right(2, 7, 2.0)),
+        ])
+        assert out == []
+
+    def test_value_mismatch_suppresses_result(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (0, grant(["D"], 0.0)), (0, left(1, 7, 1.0)),
+            (1, grant(["D"], 0.0)), (1, right(2, 8, 2.0)),
+        ])
+        assert out == []
+
+    def test_denied_by_default_tuples_never_join(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (0, left(1, 7, 1.0)),  # no sp: nobody may access
+            (1, grant(["D"], 0.0)), (1, right(2, 7, 2.0)),
+        ])
+        assert out == []
+
+    def test_window_invalidation(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (0, grant(["D"], 0.0)), (0, left(1, 7, 1.0)),
+            # Right tuple arrives far beyond the window: left expired.
+            (1, grant(["D"], 150.0)), (1, right(2, 7, 200.0)),
+        ])
+        assert out == []
+        assert join.windows[0].tuples_expired == 1
+
+    def test_both_directions_probe(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (1, grant(["D"], 0.0)), (1, right(2, 7, 1.0)),
+            (0, grant(["D"], 0.0)), (0, left(1, 7, 2.0)),
+        ])
+        assert result_tids(out) == [(1, 2)]
+
+    def test_multiple_matches(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (0, grant(["D"], 0.0)),
+            (0, left(1, 7, 1.0)), (0, left(2, 7, 2.0)),
+            (1, grant(["D"], 0.0)), (1, right(3, 7, 3.0)),
+        ])
+        assert sorted(result_tids(out)) == [(1, 3), (2, 3)]
+
+    def test_shared_sp_across_segment_tuples(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (0, grant(["D"], 0.0)),
+            (0, left(1, 7, 1.0)), (0, left(2, 8, 2.0)),
+            (1, grant(["D"], 0.0)),
+            (1, right(3, 7, 3.0)), (1, right(4, 8, 4.0)),
+        ])
+        assert sorted(result_tids(out)) == [(1, 3), (2, 4)]
+        # Results share one policy, so only one sp precedes them.
+        sps = [e for e in out if isinstance(e, SecurityPunctuation)]
+        assert len(sps) == 1
+
+    def test_policy_switch_between_segments(self, make_join):
+        join = make_join()
+        out = drive(join, [
+            (0, grant(["D"], 0.0)), (0, left(1, 7, 1.0)),
+            (0, grant(["C"], 2.0)), (0, left(2, 7, 3.0)),
+            (1, grant(["C"], 0.0)), (1, right(3, 7, 4.0)),
+        ])
+        # Only the C-segment left tuple is compatible with right's C.
+        assert result_tids(out) == [(2, 3)]
+
+    def test_extra_predicate(self, make_join):
+        join = make_join()
+        join.predicate = lambda a, b: a.values["payload"] < b.values["payload"]
+        out = drive(join, [
+            (0, grant(["D"], 0.0)),
+            (0, left(5, 7, 1.0)), (0, left(9, 7, 2.0)),
+            (1, grant(["D"], 0.0)), (1, right(7, 7, 3.0)),
+        ])
+        assert result_tids(out) == [(5, 7)]
+
+
+class TestNestedLoopSpecifics:
+    def test_invalid_method_rejected(self):
+        with pytest.raises(PlanError):
+            NestedLoopSAJoin("k", "k", 10.0, method="XX")
+
+    def test_pf_and_fp_same_results(self):
+        feed = [
+            (0, grant(["A"], 0.0)), (0, left(1, 7, 1.0)),
+            (0, grant(["B"], 2.0)), (0, left(2, 7, 3.0)),
+            (1, grant(["A"], 0.0)), (1, right(3, 7, 4.0)),
+            (1, grant(["B", "A"], 5.0)), (1, right(4, 7, 6.0)),
+        ]
+        pf = NestedLoopSAJoin("key", "key", 100.0, method="PF")
+        fp = NestedLoopSAJoin("key", "key", 100.0, method="FP")
+        assert sorted(result_tids(drive(pf, list(feed)))) == \
+            sorted(result_tids(drive(fp, list(feed))))
+
+    def test_cost_breakdown_keys(self):
+        join = NestedLoopSAJoin("key", "key", 100.0)
+        drive(join, [(0, grant(["D"], 0.0)), (0, left(1, 7, 1.0))])
+        breakdown = join.cost_breakdown()
+        assert set(breakdown) == {"join", "sp_maintenance",
+                                  "tuple_maintenance", "total"}
+        assert breakdown["total"] >= breakdown["join"]
+
+
+class TestIndexSpecifics:
+    def test_index_maintained_on_expiry(self):
+        join = IndexSAJoin("key", "key", 10.0, universe=RoleUniverse())
+        drive(join, [
+            (0, grant(["D"], 0.0)), (0, left(1, 7, 1.0)),
+            (0, grant(["D"], 5.0)), (0, left(2, 7, 6.0)),
+            (1, grant(["D"], 90.0)), (1, right(3, 7, 100.0)),
+        ])
+        # Both old left segments expired; their entries removed.
+        assert join.indexes[0].deletions >= 1
+
+    def test_index_matches_nested_loop(self):
+        feed = [
+            (0, grant(["A", "B"], 0.0)), (0, left(1, 7, 1.0)),
+            (1, grant(["B", "C"], 0.0)), (1, right(2, 7, 2.0)),
+            (1, grant(["C"], 3.0)), (1, right(3, 7, 4.0)),
+            (0, grant(["C"], 5.0)), (0, left(4, 7, 6.0)),
+        ]
+        nl = NestedLoopSAJoin("key", "key", 100.0)
+        ix = IndexSAJoin("key", "key", 100.0, universe=RoleUniverse())
+        assert sorted(result_tids(drive(nl, list(feed)))) == \
+            sorted(result_tids(drive(ix, list(feed))))
+
+    def test_skipping_rule_no_duplicates(self):
+        """Policies sharing several roles yield each pair exactly once."""
+        join = IndexSAJoin("key", "key", 100.0, universe=RoleUniverse())
+        out = drive(join, [
+            (0, grant(["A", "B", "C"], 0.0)), (0, left(1, 7, 1.0)),
+            (1, grant(["A", "B", "C"], 0.0)), (1, right(2, 7, 2.0)),
+        ])
+        assert result_tids(out) == [(1, 2)]  # exactly one result
+
+    def test_skipping_disabled_still_correct(self):
+        join = IndexSAJoin("key", "key", 100.0, universe=RoleUniverse(),
+                           skipping=False)
+        out = drive(join, [
+            (0, grant(["A", "B"], 0.0)), (0, left(1, 7, 1.0)),
+            (1, grant(["A", "B"], 0.0)), (1, right(2, 7, 2.0)),
+        ])
+        assert result_tids(out) == [(1, 2)]

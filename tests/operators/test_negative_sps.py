@@ -1,0 +1,110 @@
+"""Negative authorizations (Sign = '-') through the operator pipeline.
+
+The paper adopts Bertino-style positive/negative authorizations; these
+tests drive deny-sps through the Security Shield, joins and duplicate
+elimination to verify subtraction semantics end to end.
+"""
+
+from repro.core.patterns import numeric_range
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.dupelim import DuplicateElimination
+from repro.operators.index_join import IndexSAJoin
+from repro.operators.shield import SecurityShield
+from repro.stream.tuples import DataTuple
+
+
+def grant(roles, ts, **kwargs):
+    return SecurityPunctuation.grant(roles, ts, **kwargs)
+
+
+def deny(roles, ts, **kwargs):
+    return SecurityPunctuation.deny(roles, ts, **kwargs)
+
+
+def tup(tid, ts, sid="s1", **values):
+    return DataTuple(sid, tid, values or {"v": tid}, ts)
+
+
+def drive(op, elements, port=None):
+    out = []
+    for element in elements:
+        if port is None:
+            out.extend(op.process(element))
+        else:
+            out.extend(op.process(element, port))
+    return out
+
+
+def tids(elements):
+    return [e.tid for e in elements if isinstance(e, DataTuple)]
+
+
+class TestShieldWithDenials:
+    def test_deny_subtracts_from_batch(self):
+        shield = SecurityShield(["C"])
+        out = drive(shield, [grant(["C", "D"], 1.0), deny(["C"], 1.0),
+                             tup(1, 2.0)])
+        assert out == []
+
+    def test_deny_of_other_role_is_harmless(self):
+        shield = SecurityShield(["D"])
+        out = drive(shield, [grant(["C", "D"], 1.0), deny(["C"], 1.0),
+                             tup(1, 2.0)])
+        assert tids(out) == [1]
+
+    def test_deny_only_batch_blocks_everyone(self):
+        shield = SecurityShield(["C"])
+        out = drive(shield, [deny(["X"], 1.0), tup(1, 2.0)])
+        assert out == []  # no positive grant anywhere
+
+    def test_scoped_denial(self):
+        """Grant D everywhere, deny D for patients 120-133."""
+        shield = SecurityShield(["D"])
+        elements = [
+            grant(["D"], 1.0),
+            deny(["D"], 1.0, tuple_id=numeric_range(120, 133)),
+            tup(125, 2.0), tup(200, 3.0), tup(130, 4.0),
+        ]
+        out = drive(shield, elements)
+        assert tids(out) == [200]
+
+    def test_newer_batch_clears_denial(self):
+        shield = SecurityShield(["C"])
+        out = drive(shield, [
+            grant(["C"], 1.0), deny(["C"], 1.0), tup(1, 2.0),
+            grant(["C"], 3.0), tup(2, 4.0),
+        ])
+        assert tids(out) == [2]
+
+
+class TestJoinWithDenials:
+    def test_denied_roles_cannot_carry_a_join(self):
+        join = IndexSAJoin("v", "v", 100.0)
+        out = []
+        out += drive(join, [grant(["A", "B"], 1.0), deny(["B"], 1.0),
+                            tup(1, 2.0, sid="left", v=7)], port=0)
+        out += drive(join, [grant(["B"], 1.0),
+                            tup(2, 3.0, sid="right", v=7)], port=1)
+        # Left effective policy {A}, right {B}: incompatible.
+        assert out == []
+
+    def test_join_sp_reflects_subtraction(self):
+        join = IndexSAJoin("v", "v", 100.0)
+        drive(join, [grant(["A", "B"], 1.0), deny(["B"], 1.0),
+                     tup(1, 2.0, sid="left", v=7)], port=0)
+        out = drive(join, [grant(["A", "B"], 1.0),
+                           tup(2, 3.0, sid="right", v=7)], port=1)
+        sps = [e for e in out if isinstance(e, SecurityPunctuation)]
+        assert tids(out) == [(1, 2)]
+        assert sps[0].roles() == frozenset({"A"})
+
+
+class TestDupElimWithDenials:
+    def test_denied_role_does_not_count_as_having_seen(self):
+        de = DuplicateElimination(window=100.0, attributes=("v",))
+        out = drive(de, [
+            grant(["A", "B"], 1.0), deny(["B"], 1.0),
+            tup(1, 2.0, v="x"),           # visible to A only
+            grant(["B"], 3.0), tup(2, 4.0, v="x"),  # news for B
+        ])
+        assert tids(out) == [1, 2]

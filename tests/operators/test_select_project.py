@@ -1,0 +1,114 @@
+"""Tests for sp-aware selection and projection (Table I: σ, π)."""
+
+import pytest
+
+from repro.core.patterns import literal, one_of
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import PlanError
+from repro.operators.conditions import Comparison
+from repro.operators.project import Project
+from repro.operators.select import Select
+from repro.stream.tuples import DataTuple
+
+
+def grant(roles, ts, **kwargs):
+    return SecurityPunctuation.grant(roles, ts, **kwargs)
+
+
+def tup(tid, value, ts):
+    return DataTuple("s1", tid, {"v": value, "extra": tid}, ts)
+
+
+def drive(op, elements):
+    out = []
+    for element in elements:
+        out.extend(op.process(element))
+    return out
+
+
+class TestSelect:
+    def test_drops_failing_tuples(self):
+        select = Select(Comparison("v", ">", 10))
+        out = drive(select, [grant(["D"], 0.0), tup(1, 5, 1.0),
+                             tup(2, 15, 2.0)])
+        tids = [e.tid for e in out if isinstance(e, DataTuple)]
+        assert tids == [2]
+        assert select.tuples_dropped == 1
+
+    def test_sp_delayed_until_first_pass(self):
+        """Table I: select delays sp propagation until a covered tuple
+        satisfies the condition."""
+        select = Select(Comparison("v", ">", 10))
+        out = []
+        out.extend(select.process(grant(["D"], 0.0)))
+        assert out == []  # sp held
+        out.extend(select.process(tup(1, 5, 1.0)))
+        assert out == []  # still held: tuple failed
+        out.extend(select.process(tup(2, 15, 2.0)))
+        assert isinstance(out[0], SecurityPunctuation)
+        assert out[1].tid == 2
+
+    def test_sp_discarded_when_segment_fully_filtered(self):
+        select = Select(Comparison("v", ">", 10))
+        out = drive(select, [
+            grant(["D"], 0.0), tup(1, 5, 1.0),      # all filtered
+            grant(["C"], 2.0), tup(2, 20, 3.0),      # passes
+        ])
+        sps = [e for e in out if isinstance(e, SecurityPunctuation)]
+        assert len(sps) == 1
+        assert sps[0].roles() == frozenset({"C"})
+        assert select.sps_discarded == 1
+
+    def test_sp_emitted_once_per_segment(self):
+        select = Select(Comparison("v", ">", 0))
+        out = drive(select, [grant(["D"], 0.0), tup(1, 1, 1.0),
+                             tup(2, 2, 2.0)])
+        sps = [e for e in out if isinstance(e, SecurityPunctuation)]
+        assert len(sps) == 1
+
+    def test_flush_counts_leftover_sps(self):
+        select = Select(Comparison("v", ">", 10))
+        drive(select, [grant(["D"], 0.0), tup(1, 1, 1.0)])
+        select.flush()
+        assert select.sps_discarded == 1
+
+    def test_plain_callable_accepted(self):
+        select = Select(lambda t: t.values["v"] == 1)
+        out = drive(select, [grant(["D"], 0.0), tup(1, 1, 1.0)])
+        assert [e.tid for e in out if isinstance(e, DataTuple)] == [1]
+
+
+class TestProject:
+    def test_keeps_only_named_attributes(self):
+        project = Project(("v",))
+        out = drive(project, [tup(1, 5, 1.0)])
+        assert out[0].values == {"v": 5}
+        assert out[0].tid == 1  # identity preserved
+
+    def test_wildcard_sps_pass(self):
+        project = Project(("v",))
+        out = drive(project, [grant(["D"], 0.0), tup(1, 5, 1.0)])
+        assert isinstance(out[0], SecurityPunctuation)
+
+    def test_attribute_sp_for_kept_attribute_passes(self):
+        project = Project(("v",))
+        sp = grant(["D"], 0.0, attribute=literal("v"))
+        out = drive(project, [sp])
+        assert out == [sp]
+
+    def test_attribute_sp_for_dropped_attribute_discarded(self):
+        """Table I: sps describing only projected-away attributes go."""
+        project = Project(("v",))
+        sp = grant(["D"], 0.0, attribute=literal("extra"))
+        out = drive(project, [sp])
+        assert out == []
+        assert project.sps_discarded == 1
+
+    def test_attribute_sp_spanning_kept_and_dropped(self):
+        project = Project(("v",))
+        sp = grant(["D"], 0.0, attribute=one_of(["v", "extra"]))
+        assert drive(project, [sp]) == [sp]
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(PlanError):
+            Project(())

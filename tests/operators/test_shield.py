@@ -1,0 +1,152 @@
+"""Tests for the Security Shield operator (Table I: ψ)."""
+
+from repro.core.bitmap import RoleSet
+from repro.core.patterns import numeric_range
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.shield import SecurityShield
+from repro.stream.tuples import DataTuple
+
+
+def grant(roles, ts, **kwargs):
+    return SecurityPunctuation.grant(roles, ts, **kwargs)
+
+
+def tup(tid, ts, sid="s1"):
+    return DataTuple(sid, tid, {"v": tid}, ts)
+
+
+def drive(shield, elements):
+    out = []
+    for element in elements:
+        out.extend(shield.process(element))
+    return out
+
+
+def out_tids(elements):
+    return [e.tid for e in elements if isinstance(e, DataTuple)]
+
+
+class TestBasicFiltering:
+    def test_passing_policy(self):
+        shield = SecurityShield(["D"])
+        out = drive(shield, [grant(["D", "ND"], 0.0), tup(1, 1.0)])
+        assert out_tids(out) == [1]
+        # The sp is propagated ahead of the tuple.
+        assert isinstance(out[0], SecurityPunctuation)
+
+    def test_blocking_policy(self):
+        shield = SecurityShield(["C"])
+        out = drive(shield, [grant(["D"], 0.0), tup(1, 1.0)])
+        assert out == []
+        assert shield.tuples_blocked == 1
+        assert shield.sps_blocked == 1
+
+    def test_denial_by_default(self):
+        """Tuples before any sp are discarded (no sp ⇒ no access)."""
+        shield = SecurityShield(["D"])
+        out = drive(shield, [tup(1, 1.0)])
+        assert out == []
+
+    def test_decision_shared_across_segment(self):
+        shield = SecurityShield(["D"])
+        out = drive(shield, [grant(["D"], 0.0),
+                             tup(1, 1.0), tup(2, 2.0), tup(3, 3.0)])
+        assert out_tids(out) == [1, 2, 3]
+        # Only one sp emitted for the whole segment.
+        assert sum(isinstance(e, SecurityPunctuation) for e in out) == 1
+
+    def test_policy_switch_mid_stream(self):
+        shield = SecurityShield(["D"])
+        out = drive(shield, [
+            grant(["D"], 0.0), tup(1, 1.0),
+            grant(["C"], 2.0), tup(2, 3.0),
+            grant(["D", "C"], 4.0), tup(3, 5.0),
+        ])
+        assert out_tids(out) == [1, 3]
+
+    def test_sp_batch_union_semantics(self):
+        """Consecutive same-ts sps are one policy (union of roles)."""
+        shield = SecurityShield(["ND"])
+        out = drive(shield, [grant(["D"], 0.0), grant(["ND"], 0.0),
+                             tup(1, 1.0)])
+        assert out_tids(out) == [1]
+
+    def test_newer_batch_overrides(self):
+        """A different-ts sp replaces the previous policy entirely."""
+        shield = SecurityShield(["D"])
+        out = drive(shield, [grant(["D"], 0.0), grant(["C"], 1.0),
+                             tup(1, 2.0)])
+        assert out == []
+
+
+class TestTupleGranularity:
+    def test_per_tuple_decisions(self):
+        shield = SecurityShield(["GP"])
+        sp = grant(["GP"], 0.0, tuple_id=numeric_range(120, 133))
+        out = drive(shield, [sp, tup(125, 1.0), tup(200, 2.0),
+                             tup(130, 3.0)])
+        assert out_tids(out) == [125, 130]
+
+    def test_sps_propagated_with_first_passing_tuple(self):
+        shield = SecurityShield(["GP"])
+        sp = grant(["GP"], 0.0, tuple_id=numeric_range(120, 133))
+        out = drive(shield, [sp, tup(200, 1.0), tup(125, 2.0)])
+        # First tuple blocked; sp emitted right before the passing one.
+        assert isinstance(out[0], SecurityPunctuation)
+        assert out_tids(out) == [125]
+
+    def test_fully_blocked_segment_drops_sps(self):
+        shield = SecurityShield(["GP"])
+        sp = grant(["GP"], 0.0, tuple_id=numeric_range(120, 133))
+        out = drive(shield, [sp, tup(200, 1.0), grant(["GP"], 2.0),
+                             tup(300, 3.0)])
+        assert out_tids(out) == [300]
+        assert shield.sps_blocked == 1
+
+
+class TestConjunctivePredicates:
+    def test_all_conjuncts_must_intersect(self):
+        shield = SecurityShield(
+            RoleSet(["A", "B"]),
+            conjuncts=[RoleSet(["A"]), RoleSet(["B"])])
+        out = drive(shield, [grant(["A", "B"], 0.0), tup(1, 1.0)])
+        assert out_tids(out) == [1]
+        out = drive(shield, [grant(["A"], 2.0), tup(2, 3.0)])
+        assert out_tids(out) == []
+
+    def test_split_preserves_semantics(self):
+        merged = SecurityShield(
+            RoleSet(["A", "B"]),
+            conjuncts=[RoleSet(["A"]), RoleSet(["B"])])
+        first, second = merged.split()
+        elements = [grant(["A", "B"], 0.0), tup(1, 1.0),
+                    grant(["A"], 2.0), tup(2, 3.0)]
+        merged_out = out_tids(drive(merged, list(elements)))
+        stacked_out = out_tids(drive(first, drive(second, list(elements))))
+        assert merged_out == stacked_out == [1]
+
+    def test_merged_constructor(self):
+        a = SecurityShield(["A"])
+        b = SecurityShield(["B"])
+        merged = SecurityShield.merged([a, b])
+        assert merged.conjuncts == (a.predicate, b.predicate)
+        assert merged.predicate.names() == frozenset({"A", "B"})
+
+
+class TestIndexedVsUnindexed:
+    def test_same_decisions(self):
+        elements = [grant(["r5", "r9"], 0.0), tup(1, 1.0),
+                    grant(["r1"], 2.0), tup(2, 3.0)]
+        indexed = SecurityShield([f"r{i}" for i in range(10)], indexed=True)
+        naive = SecurityShield([f"r{i}" for i in range(10)], indexed=False)
+        assert (out_tids(drive(indexed, list(elements)))
+                == out_tids(drive(naive, list(elements))) == [1, 2])
+
+    def test_naive_scans_whole_state(self):
+        naive = SecurityShield([f"r{i}" for i in range(50)], indexed=False)
+        drive(naive, [grant(["r5"], 0.0), tup(1, 1.0)])
+        assert naive.stats.comparisons >= 50
+
+    def test_state_size(self):
+        shield = SecurityShield(["a", "b", "c"])
+        assert shield.state_size() == 3

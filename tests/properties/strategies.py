@@ -1,0 +1,56 @@
+"""Hypothesis strategies and ground-truth helpers for property tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.tuples import DataTuple
+
+ROLE_POOL = ("ra", "rb", "rc", "rd")
+
+role_sets = st.sets(st.sampled_from(ROLE_POOL), min_size=1, max_size=3)
+
+
+@st.composite
+def punctuated_streams(draw, max_segments=8, max_tuples_per_segment=4,
+                       value_range=5, sid="s"):
+    """A random punctuated stream of positive wildcard-DDP sp-batches."""
+    n_segments = draw(st.integers(1, max_segments))
+    elements = []
+    ts = 0.0
+    tid = 0
+    for _ in range(n_segments):
+        ts += 1.0
+        roles = sorted(draw(role_sets))
+        elements.append(SecurityPunctuation.grant(roles, ts))
+        n_tuples = draw(st.integers(0, max_tuples_per_segment))
+        for _ in range(n_tuples):
+            ts += 1.0
+            value = draw(st.integers(0, value_range))
+            elements.append(DataTuple(sid, tid, {"key": value, "v": value},
+                                      ts))
+            tid += 1
+    return elements
+
+
+def visible_tids(elements, role):
+    """Ground truth: tids accessible to ``role`` under segment-scoped
+    sp semantics (batch = consecutive same-ts sps, union of roles)."""
+    current: set[str] = set()
+    batch_ts = None
+    in_batch = False
+    out = []
+    for element in elements:
+        if isinstance(element, SecurityPunctuation):
+            if in_batch and element.ts == batch_ts:
+                current |= element.roles()
+            else:
+                current = set(element.roles())
+                batch_ts = element.ts
+            in_batch = True
+        else:
+            in_batch = False
+            if role in current:
+                out.append(element.tid)
+    return out

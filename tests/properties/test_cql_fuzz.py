@@ -1,0 +1,94 @@
+"""Property tests for the CQL layer: round trips and fuzzing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cql.parser import parse, parse_insert_sp, parse_select
+from repro.cql.translator import translate_insert_sp, translate_select
+from repro.errors import CQLSyntaxError, ReproError
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT",
+        "GROUP", "BY", "RANGE", "AS", "INSERT", "SP", "INTO", "STREAM",
+        "LET", "DDP", "SRP", "SIGN", "IMMUTABLE", "TIMESTAMP",
+        "POSITIVE", "NEGATIVE", "TRUE", "FALSE", "COUNT", "SUM", "AVG",
+        "MIN", "MAX",
+    })
+
+
+@st.composite
+def select_statements(draw):
+    """Grammar-directed random SELECT statements."""
+    columns = draw(st.lists(identifiers, min_size=1, max_size=3,
+                            unique=True))
+    stream = draw(identifiers)
+    text = "SELECT " + ", ".join(columns) + f" FROM {stream}"
+    if draw(st.booleans()):
+        text += f" RANGE {draw(st.integers(1, 500))}"
+    predicates = draw(st.lists(
+        st.tuples(identifiers, st.sampled_from(["=", "<", ">", "<=",
+                                                ">=", "!="]),
+                  st.integers(-100, 100)),
+        max_size=3))
+    if predicates:
+        text += " WHERE " + " AND ".join(
+            f"{attr} {op} {value}" for attr, op, value in predicates)
+    return text
+
+
+@st.composite
+def insert_sp_statements(draw):
+    stream = draw(identifiers)
+    roles = draw(st.lists(identifiers, min_size=1, max_size=3,
+                          unique=True))
+    low = draw(st.integers(0, 100))
+    high = low + draw(st.integers(0, 100))
+    ddp_choice = draw(st.sampled_from(["*", f"[{low}-{high}]"]))
+    ddp = f"*, {ddp_choice}, *"
+    srp = "{" + ", ".join(roles) + "}" if len(roles) > 1 else roles[0]
+    text = (f"INSERT SP INTO STREAM {stream} "
+            f"LET DDP = '{ddp}', SRP = '{srp}'")
+    if draw(st.booleans()):
+        text += f", SIGN = {draw(st.sampled_from(['POSITIVE', 'NEGATIVE']))}"
+    if draw(st.booleans()):
+        text += f", TIMESTAMP = {draw(st.integers(0, 1000))}"
+    return text, frozenset(roles)
+
+
+class TestGrammarRoundTrips:
+    @given(select_statements())
+    @settings(max_examples=80, deadline=None)
+    def test_generated_selects_parse_and_translate(self, text):
+        statement = parse_select(text)
+        expr = translate_select(statement)
+        assert expr is not None
+
+    @given(insert_sp_statements())
+    @settings(max_examples=80, deadline=None)
+    def test_generated_insert_sps_translate(self, statement_and_roles):
+        text, roles = statement_and_roles
+        statement = parse_insert_sp(text)
+        sp = translate_insert_sp(statement, provider="fuzz")
+        assert sp.roles() == roles
+        assert sp.provider == "fuzz"
+
+
+class TestFuzzRobustness:
+    @given(st.text(max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        """The parser either succeeds or raises a framework error —
+        never an unhandled exception type."""
+        try:
+            parse(text)
+        except (CQLSyntaxError, ReproError):
+            pass
+
+    @given(st.text(alphabet="SELECT FROMWHERE*(),.<>='x1 ", max_size=50))
+    @settings(max_examples=150, deadline=None)
+    def test_sql_shaped_garbage(self, text):
+        try:
+            parse(text)
+        except (CQLSyntaxError, ReproError):
+            pass

@@ -1,0 +1,51 @@
+"""Property tests: the three enforcement mechanisms always agree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.store_and_probe import StoreAndProbeEnforcer
+from repro.baselines.tuple_embedded import (TupleEmbeddedEnforcer,
+                                            embed_policies)
+from repro.core.bitmap import RoleUniverse
+from repro.operators.shield import SecurityShield
+from repro.stream.tuples import DataTuple
+
+from tests.properties.strategies import (ROLE_POOL, punctuated_streams,
+                                         visible_tids)
+
+
+def sp_mechanism(elements, role):
+    shield = SecurityShield([role])
+    out = []
+    for element in elements:
+        for item in shield.process(element):
+            if isinstance(item, DataTuple):
+                out.append(item.tid)
+    return out
+
+
+def store_and_probe(elements, role):
+    return [t.tid for t in StoreAndProbeEnforcer([role]).ingest(elements)]
+
+
+def tuple_embedded(elements, role, bitmap=False):
+    universe = RoleUniverse(ROLE_POOL) if bitmap else None
+    enforcer = TupleEmbeddedEnforcer([role])
+    return [t.tid for t in enforcer.ingest(
+        embed_policies(elements, universe=universe, bitmap=bitmap))]
+
+
+class TestMechanismAgreement:
+    @given(punctuated_streams(), st.sampled_from(ROLE_POOL))
+    @settings(max_examples=50, deadline=None)
+    def test_all_mechanisms_match_ground_truth(self, elements, role):
+        truth = visible_tids(elements, role)
+        assert sp_mechanism(elements, role) == truth
+        assert store_and_probe(elements, role) == truth
+        assert tuple_embedded(elements, role) == truth
+
+    @given(punctuated_streams(), st.sampled_from(ROLE_POOL))
+    @settings(max_examples=30, deadline=None)
+    def test_bitmap_encoding_equivalent(self, elements, role):
+        assert tuple_embedded(elements, role, bitmap=True) == \
+            tuple_embedded(elements, role, bitmap=False)

@@ -1,0 +1,104 @@
+"""Property-based tests for policy algebra invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitmap import RoleBitmap, RoleSet, RoleUniverse
+from repro.core.policy import Policy, TuplePolicy, override
+from repro.core.punctuation import SecurityPunctuation
+
+ROLES = ("a", "b", "c", "d", "e")
+
+role_sets = st.sets(st.sampled_from(ROLES), min_size=0, max_size=4)
+nonempty_role_sets = st.sets(st.sampled_from(ROLES), min_size=1, max_size=4)
+
+
+def tp(roles):
+    return TuplePolicy(roles)
+
+
+class TestTuplePolicyLattice:
+    @given(role_sets, role_sets)
+    def test_intersect_commutes(self, a, b):
+        assert tp(a).intersect(tp(b)) == tp(b).intersect(tp(a))
+
+    @given(role_sets, role_sets)
+    def test_union_commutes(self, a, b):
+        assert tp(a).union(tp(b)) == tp(b).union(tp(a))
+
+    @given(role_sets, role_sets, role_sets)
+    def test_intersect_associates(self, a, b, c):
+        left = tp(a).intersect(tp(b)).intersect(tp(c))
+        right = tp(a).intersect(tp(b).intersect(tp(c)))
+        assert left == right
+
+    @given(role_sets)
+    def test_intersect_idempotent(self, a):
+        assert tp(a).intersect(tp(a)) == tp(a)
+
+    @given(role_sets, role_sets)
+    def test_intersection_never_widens(self, a, b):
+        joined = tp(a).intersect(tp(b))
+        assert joined.roles.names() <= a
+        assert joined.roles.names() <= b
+
+    @given(role_sets, role_sets)
+    def test_difference_definition(self, a, b):
+        """Case 3 of dup-elim: Pnew − (Pold ∩ Pnew)."""
+        new, old = tp(a), tp(b)
+        common = new.intersect(old)
+        assert new.difference(common).roles.names() == a - (a & b)
+
+    @given(role_sets, role_sets)
+    def test_permits_any_iff_nonempty_intersection(self, a, b):
+        assert tp(a).permits_any(RoleSet(b)) == bool(a & b)
+
+
+class TestBitmapSetAgreement:
+    @given(nonempty_role_sets, nonempty_role_sets)
+    def test_all_ops_agree(self, a, b):
+        universe = RoleUniverse(ROLES)
+        set_a, set_b = RoleSet(a), RoleSet(b)
+        bm_a = RoleBitmap(universe, a)
+        bm_b = RoleBitmap(universe, b)
+        assert bm_a.intersect(bm_b).names() == set_a.intersect(set_b).names()
+        assert bm_a.union(bm_b).names() == set_a.union(set_b).names()
+        assert bm_a.difference(bm_b).names() == \
+            set_a.difference(set_b).names()
+        assert bm_a.intersects(bm_b) == set_a.intersects(set_b)
+
+
+class TestPolicySemantics:
+    @given(nonempty_role_sets, nonempty_role_sets)
+    def test_union_monotone(self, a, b):
+        pa = Policy([SecurityPunctuation.grant(sorted(a), 1.0)])
+        pb = Policy([SecurityPunctuation.grant(sorted(b), 2.0)])
+        union = pa.union(pb)
+        assert union.authorized_roles("s") >= pa.authorized_roles("s")
+        assert union.authorized_roles("s") == a | b
+
+    @given(nonempty_role_sets, nonempty_role_sets)
+    def test_intersect_antitone(self, a, b):
+        pa = Policy([SecurityPunctuation.grant(sorted(a), 1.0)])
+        pb = Policy([SecurityPunctuation.grant(sorted(b), 2.0)])
+        combined = pa.intersect(pb)
+        assert combined.authorized_roles("s") <= pa.authorized_roles("s")
+        assert combined.authorized_roles("s") == a & b
+
+    @given(nonempty_role_sets, nonempty_role_sets,
+           st.floats(0, 100), st.floats(0, 100))
+    def test_override_picks_newer(self, a, b, ts_a, ts_b):
+        pa = Policy([SecurityPunctuation.grant(sorted(a), ts_a)])
+        pb = Policy([SecurityPunctuation.grant(sorted(b), ts_b)])
+        winner = override(pa, pb)
+        if ts_b >= ts_a:
+            assert winner is pb
+        else:
+            assert winner is pa
+
+    @given(nonempty_role_sets, nonempty_role_sets)
+    def test_negative_sps_subtract_exactly(self, granted, denied):
+        sps = [SecurityPunctuation.grant(sorted(granted), 1.0),
+               SecurityPunctuation.deny(sorted(denied), 1.0)]
+        policy = Policy(sps)
+        assert policy.authorized_roles("s") == granted - denied

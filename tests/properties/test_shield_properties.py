@@ -1,0 +1,75 @@
+"""Property tests: SS enforcement matches the naive ground truth."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.operators.shield import SecurityShield
+from repro.stream.tuples import DataTuple
+
+from tests.properties.strategies import (ROLE_POOL, punctuated_streams,
+                                         visible_tids)
+
+
+def shield_output_tids(elements, role, **kwargs):
+    shield = SecurityShield([role], **kwargs)
+    out = []
+    for element in elements:
+        for item in shield.process(element):
+            if isinstance(item, DataTuple):
+                out.append(item.tid)
+    return out
+
+
+class TestShieldGroundTruth:
+    @given(punctuated_streams(), st.sampled_from(ROLE_POOL))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_interpreter(self, elements, role):
+        assert shield_output_tids(elements, role) == \
+            visible_tids(elements, role)
+
+    @given(punctuated_streams(), st.sampled_from(ROLE_POOL))
+    @settings(max_examples=30, deadline=None)
+    def test_indexed_equals_naive_scan(self, elements, role):
+        assert shield_output_tids(elements, role, indexed=True) == \
+            shield_output_tids(elements, role, indexed=False)
+
+    @given(punctuated_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_no_unauthorized_tuple_ever_passes(self, elements):
+        """Security invariant: every emitted tuple's governing policy
+        intersected the predicate — checked against ground truth for
+        every role at once."""
+        for role in ROLE_POOL:
+            emitted = set(shield_output_tids(elements, role))
+            allowed = set(visible_tids(elements, role))
+            assert emitted <= allowed
+
+    @given(punctuated_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_output_sp_always_precedes_first_tuple(self, elements):
+        shield = SecurityShield([ROLE_POOL[0]])
+        out = []
+        for element in elements:
+            out.extend(shield.process(element))
+        saw_sp = False
+        for element in out:
+            if isinstance(element, SecurityPunctuation):
+                saw_sp = True
+            else:
+                assert saw_sp, "tuple emitted before any sp"
+
+    @given(punctuated_streams(), st.sampled_from(ROLE_POOL))
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent_stacking(self, elements, role):
+        """ψp(ψp(T)) ≡ ψp(T)."""
+        once = shield_output_tids(elements, role)
+        inner = SecurityShield([role])
+        outer = SecurityShield([role])
+        twice = []
+        for element in elements:
+            for mid in inner.process(element):
+                for item in outer.process(mid):
+                    if isinstance(item, DataTuple):
+                        twice.append(item.tid)
+        assert twice == once

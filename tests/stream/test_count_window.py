@@ -1,0 +1,66 @@
+"""Tests for the count-based punctuated window."""
+
+import pytest
+
+from repro.core.policy import Policy
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import StreamError
+from repro.stream.tuples import DataTuple
+from repro.stream.window import CountPunctuatedWindow
+
+
+def grant(roles, ts):
+    return SecurityPunctuation.grant(roles, ts)
+
+
+def tup(tid, ts):
+    return DataTuple("s", tid, {"v": tid}, ts)
+
+
+def open_segment(window, roles, ts):
+    sp = grant(roles, ts)
+    return window.open_segment(Policy([sp]), [sp])
+
+
+class TestCountWindow:
+    def test_keeps_last_n(self):
+        window = CountPunctuatedWindow("s", 3)
+        open_segment(window, ["D"], 0.0)
+        for i in range(5):
+            window.insert(tup(i, float(i + 1)))
+        live = [t.tid for t, _ in window.iter_entries()]
+        assert live == [2, 3, 4]
+        assert window.tuples_expired == 2
+
+    def test_purges_emptied_segments(self):
+        window = CountPunctuatedWindow("s", 2)
+        open_segment(window, ["D"], 0.0)
+        window.insert(tup(1, 1.0))
+        open_segment(window, ["C"], 2.0)
+        window.insert(tup(2, 3.0))
+        purged = window.insert(tup(3, 4.0))  # evicts tid 1, D segment empty
+        assert len(purged) == 1
+        assert window.segment_count() == 1
+        assert window.sp_count() == 1
+
+    def test_policies_preserved_across_eviction(self):
+        window = CountPunctuatedWindow("s", 2)
+        open_segment(window, ["D"], 0.0)
+        window.insert(tup(1, 1.0))
+        open_segment(window, ["C"], 2.0)
+        window.insert(tup(2, 3.0))
+        window.insert(tup(3, 4.0))
+        policies = [sorted(p.roles.names())
+                    for _, p in window.iter_entries()]
+        assert policies == [["C"], ["C"]]
+
+    def test_time_invalidation_is_noop(self):
+        window = CountPunctuatedWindow("s", 5)
+        open_segment(window, ["D"], 0.0)
+        window.insert(tup(1, 1.0))
+        assert window.invalidate(1e9) == (0, [])
+        assert window.tuple_count() == 1
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(StreamError):
+            CountPunctuatedWindow("s", 0)

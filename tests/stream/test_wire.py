@@ -1,0 +1,91 @@
+"""Tests for the JSON-lines wire format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.patterns import literal, numeric_range
+from repro.core.punctuation import SecurityPunctuation, Sign
+from repro.errors import StreamError
+from repro.stream.tuples import DataTuple
+from repro.stream.wire import (decode_element, dump_stream, encode_element,
+                               load_stream)
+
+from tests.properties.strategies import punctuated_streams
+
+
+class TestRoundTrips:
+    def test_tuple_round_trip(self):
+        t = DataTuple("s1", 120, {"x": 1.5, "name": "abc", "n": 7}, 3.25)
+        back = decode_element(encode_element(t))
+        assert back == t
+
+    def test_tuple_pair_tid(self):
+        t = DataTuple("joined", (1, 2), {"v": 0}, 1.0)
+        back = decode_element(encode_element(t))
+        assert back.tid == (1, 2)
+
+    def test_sp_round_trip(self):
+        sp = SecurityPunctuation.deny(
+            ["C", "D"], ts=9.5, stream=literal("HeartRate"),
+            tuple_id=numeric_range(120, 133), immutable=True,
+            provider="patient120")
+        back = decode_element(encode_element(sp))
+        assert back.roles() == sp.roles()
+        assert back.sign is Sign.NEGATIVE
+        assert back.immutable
+        assert back.ts == 9.5
+        assert back.provider == "patient120"
+        assert back.describes("HeartRate", 125)
+        assert not back.describes("HeartRate", 200)
+
+    def test_stream_dump_load(self):
+        elements = [
+            SecurityPunctuation.grant(["D"], ts=0.0, provider="p"),
+            DataTuple("s", 1, {"v": 1}, 1.0),
+            DataTuple("s", 2, {"v": 2}, 2.0),
+        ]
+        buffer = io.StringIO()
+        assert dump_stream(elements, buffer) == 3
+        buffer.seek(0)
+        loaded = list(load_stream(buffer))
+        assert len(loaded) == 3
+        assert isinstance(loaded[0], SecurityPunctuation)
+        assert [e.tid for e in loaded[1:]] == [1, 2]
+
+    def test_blank_lines_skipped(self):
+        lines = ["", "  ", encode_element(DataTuple("s", 1, {"v": 1}, 1.0))]
+        assert len(list(load_stream(lines))) == 1
+
+
+class TestErrors:
+    def test_malformed_json(self):
+        with pytest.raises(StreamError):
+            decode_element("{not json")
+
+    def test_unknown_kind(self):
+        with pytest.raises(StreamError):
+            decode_element('{"k": "mystery"}')
+
+    def test_non_element_rejected(self):
+        with pytest.raises(StreamError):
+            encode_element("a plain string")
+
+
+class TestPropertyRoundTrip:
+    @given(punctuated_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_any_stream_round_trips(self, elements):
+        buffer = io.StringIO()
+        dump_stream(elements, buffer)
+        buffer.seek(0)
+        loaded = list(load_stream(buffer))
+        assert len(loaded) == len(elements)
+        for original, back in zip(elements, loaded):
+            assert type(original) is type(back)
+            assert original.ts == back.ts
+            if isinstance(original, SecurityPunctuation):
+                assert original.roles() == back.roles()
+            else:
+                assert original == back

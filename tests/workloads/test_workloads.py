@@ -1,0 +1,129 @@
+"""Tests for the synthetic and health workload generators."""
+
+import pytest
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.element import count_elements, is_punctuation
+from repro.stream.ordering import ensure_ordered
+from repro.stream.tuples import DataTuple
+from repro.workloads.health import (HealthStreamGenerator,
+                                    attribute_level_policy,
+                                    stream_level_policy, tuple_level_policy)
+from repro.workloads.synthetic import (QUERY_ROLE, join_streams,
+                                       punctuated_stream, role_names)
+
+
+class TestSynthetic:
+    def test_ratio_controlled(self):
+        elements = list(punctuated_stream(200, tuples_per_sp=10, seed=1))
+        n_tuples, n_sps = count_elements(elements)
+        assert n_tuples == 200
+        assert n_sps == 20
+
+    def test_policy_size_controlled(self):
+        elements = list(punctuated_stream(50, tuples_per_sp=5,
+                                          policy_size=7, seed=2))
+        for element in elements:
+            if is_punctuation(element):
+                assert len(element.roles()) == 7
+
+    def test_accessible_fraction_extremes(self):
+        all_access = list(punctuated_stream(
+            100, tuples_per_sp=10, accessible_fraction=1.0, seed=3))
+        none_access = list(punctuated_stream(
+            100, tuples_per_sp=10, accessible_fraction=0.0, seed=3))
+        assert all(QUERY_ROLE in e.roles() for e in all_access
+                   if is_punctuation(e))
+        assert all(QUERY_ROLE not in e.roles() for e in none_access
+                   if is_punctuation(e))
+
+    def test_ordered(self):
+        list(ensure_ordered(punctuated_stream(100, seed=4)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(punctuated_stream(10, tuples_per_sp=0))
+        with pytest.raises(ValueError):
+            list(punctuated_stream(10, policy_size=0))
+
+    def test_role_names(self):
+        assert role_names(3) == ["r1", "r2", "r3"]
+        assert role_names(2, prefix="q") == ["q1", "q2"]
+
+
+class TestJoinStreams:
+    def test_structure(self):
+        left, right, left_schema, right_schema = join_streams(
+            100, tuples_per_sp=10, compatibility=0.5, seed=5)
+        assert count_elements(left)[0] == 100
+        assert count_elements(right)[0] == 100
+        assert left_schema.stream_id == "left"
+        assert right_schema.stream_id == "right"
+
+    def test_left_always_shared_role(self):
+        left, _, _, _ = join_streams(50, compatibility=0.5, seed=6)
+        assert all(e.roles() == frozenset({"shared"}) for e in left
+                   if is_punctuation(e))
+
+    def test_compatibility_extremes(self):
+        _, right_all, _, _ = join_streams(100, compatibility=1.0, seed=7)
+        assert all(e.roles() == frozenset({"shared"}) for e in right_all
+                   if is_punctuation(e))
+        _, right_none, _, _ = join_streams(100, compatibility=0.0, seed=7)
+        assert all("shared" not in e.roles() for e in right_none
+                   if is_punctuation(e))
+
+    def test_compatibility_mid_is_mixed(self):
+        _, right, _, _ = join_streams(300, compatibility=0.5, seed=8)
+        kinds = {("shared" in e.roles()) for e in right
+                 if is_punctuation(e)}
+        assert kinds == {True, False}
+
+
+class TestHealthWorkload:
+    def test_figure4_policies(self):
+        assert stream_level_policy(1.0).describes("HeartRate")
+        assert not stream_level_policy(1.0).describes("BodyTemperature")
+        assert tuple_level_policy(1.0).describes("any", 125)
+        assert not tuple_level_policy(1.0).describes("any", 200)
+        attr_sp = attribute_level_policy(1.0)
+        assert attr_sp.describes("HeartRate", 1, "beats_per_min")
+        assert attr_sp.describes("BodyTemperature", 1, "temperature")
+        assert not attr_sp.describes("BreathingRate", 1, "depth")
+        assert attr_sp.roles() == frozenset({"D", "ND"})
+
+    def test_heart_rate_stream_shape(self):
+        gen = HealthStreamGenerator(n_patients=4, seed=1)
+        elements = list(gen.heart_rate(5))
+        n_tuples, n_sps = count_elements(elements)
+        assert n_tuples == 20
+        assert n_sps == 20  # per-patient sp before each reading
+
+    def test_emergency_escalation(self):
+        """Spiking vitals widen the policy with the ER role (Example 2)."""
+        gen = HealthStreamGenerator(n_patients=8, seed=2,
+                                    emergency_bpm=140.0)
+        elements = list(gen.heart_rate(30))
+        paired = list(zip(elements[::2], elements[1::2]))
+        escalated = [(sp, t) for sp, t in paired
+                     if t.values["beats_per_min"] >= 140.0]
+        normal = [(sp, t) for sp, t in paired
+                  if t.values["beats_per_min"] < 140.0]
+        assert escalated, "seed must produce at least one emergency"
+        assert all("E" in sp.roles() for sp, _ in escalated)
+        assert all("E" not in sp.roles() for sp, _ in normal)
+
+    def test_body_temperature_policy(self):
+        gen = HealthStreamGenerator(n_patients=2, seed=3)
+        sps = [e for e in gen.body_temperature(2)
+               if isinstance(e, SecurityPunctuation)]
+        assert all(e.roles() == frozenset({"D", "ND"}) for e in sps)
+
+    def test_sp_scoped_to_patient(self):
+        gen = HealthStreamGenerator(n_patients=2, seed=4)
+        elements = list(gen.heart_rate(1))
+        sp, reading = elements[0], elements[1]
+        assert isinstance(reading, DataTuple)
+        assert sp.describes("HeartRate", reading.tid)
+        other = 999
+        assert not sp.describes("HeartRate", other)
