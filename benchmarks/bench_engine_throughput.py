@@ -11,13 +11,15 @@ from __future__ import annotations
 import pytest
 
 from repro.algebra.expressions import ScanExpr
+from repro.engine.api import OptimizeLevel
 from repro.engine.dsms import DSMS
 from repro.operators.conditions import Comparison
 from repro.workloads.synthetic import (SYNTH_SCHEMA, punctuated_stream,
                                        role_names)
 
 QUERY_COUNTS = (1, 4, 16)
-MODES = {"plain": False, "optimized": True, "workload": "workload"}
+MODES = {"plain": OptimizeLevel.NONE, "optimized": OptimizeLevel.PER_QUERY,
+         "workload": OptimizeLevel.WORKLOAD}
 
 
 def build_dsms(n_queries: int, elements) -> DSMS:

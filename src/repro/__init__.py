@@ -26,8 +26,11 @@ from repro.algebra import (CostModel, JoinExpr, Optimizer, ProjectExpr,
                            ScanExpr, SelectExpr, ShieldExpr)
 from repro.core import (Policy, RoleSet, RoleUniverse, SecurityPunctuation,
                         Sign, SPAnalyzer, TuplePolicy)
-from repro.engine import DSMS, ContinuousQuery, QueryResult
+from repro.engine import DSMS, ContinuousQuery, OptimizeLevel, QueryResult
 from repro.errors import ReproError
+from repro.observability import (AuditEvent, AuditLog, JsonlTraceSink,
+                                 NullTraceSink, Observability,
+                                 RingBufferTraceSink, StageStats, TraceSink)
 from repro.operators import (IndexSAJoin, NestedLoopSAJoin, Project,
                              SecurityShield, Select)
 from repro.stream import DataTuple, StreamSchema
@@ -35,19 +38,26 @@ from repro.stream import DataTuple, StreamSchema
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditEvent",
+    "AuditLog",
     "ContinuousQuery",
     "CostModel",
     "DSMS",
     "DataTuple",
     "IndexSAJoin",
     "JoinExpr",
+    "JsonlTraceSink",
     "NestedLoopSAJoin",
+    "NullTraceSink",
+    "Observability",
+    "OptimizeLevel",
     "Optimizer",
     "Policy",
     "Project",
     "ProjectExpr",
     "QueryResult",
     "ReproError",
+    "RingBufferTraceSink",
     "RoleSet",
     "RoleUniverse",
     "SPAnalyzer",
@@ -58,7 +68,9 @@ __all__ = [
     "SelectExpr",
     "ShieldExpr",
     "Sign",
+    "StageStats",
     "StreamSchema",
+    "TraceSink",
     "TuplePolicy",
     "__version__",
 ]

@@ -17,6 +17,12 @@ Commands
 ``shell``
     Interactive DSMS console over a live session (see
     :mod:`repro.shell`).
+``stats [file]``
+    Execute a (CQL) query over a wire-format stream — or the built-in
+    demo stream — and print per-operator stage metrics.
+``audit [file]``
+    Same execution with the audit trail enabled; print (or export) the
+    security decisions, or explain the fate of one tuple id.
 """
 
 from __future__ import annotations
@@ -106,6 +112,149 @@ def _cmd_wire(args: argparse.Namespace) -> int:
     return 0 if ordered else 1
 
 
+def _demo_elements():
+    """The quickstart HeartRate stream (used when no file is given)."""
+    from repro.core.punctuation import SecurityPunctuation
+    from repro.stream.tuples import DataTuple
+
+    def reading(bpm, ts):
+        return DataTuple("HeartRate", 120,
+                         {"patient_id": 120, "beats_per_min": bpm}, ts)
+
+    return "HeartRate", ("patient_id", "beats_per_min"), [
+        SecurityPunctuation.grant(["D", "ND"], ts=0.0, provider="patient"),
+        reading(72, 1.0),
+        reading(75, 2.0),
+        SecurityPunctuation.grant(["D", "C"], ts=3.0, provider="patient"),
+        reading(148, 4.0),
+    ]
+
+
+def _load_wire_elements(path: str):
+    """Stream id, attributes and elements of one wire-format file."""
+    from repro.stream.tuples import DataTuple
+    from repro.stream.wire import load_stream
+
+    elements = []
+    sids: set[str] = set()
+    attributes: dict[str, None] = {}
+    with open(path, encoding="utf-8") as fp:
+        for element in load_stream(fp):
+            elements.append(element)
+            if isinstance(element, DataTuple):
+                sids.add(element.sid)
+                for name in element.values:
+                    attributes.setdefault(name)
+    if not sids:
+        raise ReproError(f"{path}: no data tuples (cannot infer a schema)")
+    if len(sids) > 1:
+        raise ReproError(
+            f"{path}: multiple stream ids {sorted(sids)}; stats/audit "
+            "runs take a single-stream file")
+    return sids.pop(), tuple(attributes), elements
+
+
+def _observed_run(args: argparse.Namespace):
+    """Build a DSMS with in-memory observability, run, return it."""
+    from repro.algebra.expressions import ScanExpr
+    from repro.engine.api import OptimizeLevel
+    from repro.engine.dsms import DSMS
+    from repro.observability import Observability
+    from repro.stream.schema import StreamSchema
+
+    if args.path:
+        stream_id, attributes, elements = _load_wire_elements(args.path)
+    else:
+        stream_id, attributes, elements = _demo_elements()
+    roles = frozenset(r.strip() for r in args.roles.split(",") if r.strip())
+    if not roles:
+        raise ReproError("provide at least one role via --roles")
+    if args.query:
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.cql.translator import compile_statement
+
+        expr = compile_statement(args.query)
+        if isinstance(expr, SecurityPunctuation):
+            raise ReproError(
+                "--query takes a CQL SELECT, not an INSERT SP")
+    else:
+        expr = ScanExpr(stream_id)
+
+    dsms = DSMS(observability=Observability.in_memory())
+    dsms.register_stream(StreamSchema(stream_id, attributes), elements)
+    dsms.register_query("q", expr, roles=roles)
+    results = dsms.run(optimize=OptimizeLevel(args.optimize))
+    return dsms, results
+
+
+def _add_observed_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", nargs="?", default=None,
+                        help="wire-format stream file (default: built-in "
+                             "HeartRate demo stream)")
+    parser.add_argument("--query", default=None,
+                        help="CQL SELECT to run (default: scan the stream)")
+    parser.add_argument("--roles", default="ND",
+                        help="comma-separated query roles (default: ND)")
+    parser.add_argument("--optimize", default="none",
+                        choices=["none", "per_query", "workload"],
+                        help="plan optimization level")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.metrics.reporting import format_table
+    from repro.observability.stats import StageStats, aggregate_stages
+
+    dsms, results = _observed_run(args)
+    report = dsms.last_report
+    assert report is not None
+    print(format_table(
+        StageStats.HEADERS, [s.to_row() for s in report.stages],
+        title="Per-operator stage metrics"))
+    totals = aggregate_stages(report.stages)
+    print()
+    print(f"elements in:  {report.elements_in} "
+          f"({report.tuples_in} tuples, {report.sps_in} sps)")
+    print(f"delivered:    "
+          f"{sum(len(r.tuples) for r in results.values())} tuples")
+    print(f"drops:        {totals['drops']}")
+    print(f"wall time:    {report.wall_time:.4f}s")
+    analyzer = dsms.analyzer
+    print(f"analyzer:     {analyzer.sps_in} sps in, "
+          f"{analyzer.sps_out} out, "
+          f"{analyzer.conservative_refinements} conservative refinements")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    dsms, _results = _observed_run(args)
+    audit = dsms.audit
+    assert audit is not None
+    if args.jsonl:
+        count = audit.dump_jsonl(args.jsonl)
+        print(f"wrote {count} audit events to {args.jsonl}")
+        return 0
+    if args.explain is not None:
+        tid: object = args.explain
+        events = audit.explain(tid)
+        if not events and tid.lstrip("-").isdigit():
+            events = audit.explain(int(tid))
+        if not events:
+            print(f"no audit events for tuple id {tid!r}")
+            return 1
+        for event in events:
+            print(event)
+        return 0
+    events = audit.events(kind=args.kind)
+    for event in events[-args.limit:]:
+        print(event)
+    print()
+    summary = ", ".join(f"{kind}={count}"
+                        for kind, count in sorted(audit.counts.items()))
+    print(f"recorded: {summary or 'nothing'}"
+          + (f" (evicted {audit.evicted})" if audit.evicted else ""))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -138,6 +287,24 @@ def build_parser() -> argparse.ArgumentParser:
     shell = sub.add_parser("shell",
                            help="interactive DSMS console (CQL + PUSH)")
     shell.set_defaults(fn=_cmd_shell)
+
+    stats = sub.add_parser(
+        "stats", help="run a query and print per-operator stage metrics")
+    _add_observed_arguments(stats)
+    stats.set_defaults(fn=_cmd_stats)
+
+    audit = sub.add_parser(
+        "audit", help="run a query and print the security audit trail")
+    _add_observed_arguments(audit)
+    audit.add_argument("--kind", default=None,
+                       help="only events of this kind (e.g. shield.drop)")
+    audit.add_argument("--explain", default=None, metavar="TID",
+                       help="explain every decision that touched a tuple id")
+    audit.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="export held events as JSON lines and exit")
+    audit.add_argument("--limit", type=int, default=50,
+                       help="print at most N most recent events")
+    audit.set_defaults(fn=_cmd_audit)
     return parser
 
 

@@ -45,6 +45,7 @@ from repro.core.policy import AccessPolicy, Policy
 from repro.core.punctuation import (DataDescription, SecurityPunctuation,
                                     SecurityRestriction, Sign, SPBatch)
 from repro.errors import PolicyError
+from repro.observability.trace import NullTraceSink
 
 __all__ = ["SPAnalyzer", "conjoin_patterns", "conjoin_ddp", "combine_batch"]
 
@@ -190,6 +191,15 @@ class SPAnalyzer:
         #: Counters for observability.
         self.sps_in = 0
         self.sps_out = 0
+        #: Audit log for server-policy refinements (None = silent).
+        self.audit = None
+        #: Trace sink for per-batch span events.
+        self.tracer = NullTraceSink()
+
+    def bind_observability(self, observability) -> None:
+        """Attach a DSMS's :class:`~repro.observability.Observability`."""
+        self.audit = observability.audit
+        self.tracer = observability.tracer
 
     # -- server policies ---------------------------------------------------
     def add_server_policy(self, sp: SecurityPunctuation) -> None:
@@ -229,6 +239,7 @@ class SPAnalyzer:
             # Negative provider sps only remove access; server
             # intersection semantics concern positive grants.
             return [sp]
+        conservative_before = self.conservative_refinements
         current = [sp]
         for server_sp in self._server_sps:
             if not server_sp.is_positive:
@@ -240,6 +251,18 @@ class SPAnalyzer:
             for item in current:
                 next_round.extend(self._refine_one(item, server_sp))
             current = next_round
+        if self.audit is not None and current != [sp]:
+            result_roles: set[str] = set()
+            for item in current:
+                result_roles |= item.roles()
+            self.audit.record(
+                "analyzer.refine", ts=sp.ts, operator="SPAnalyzer",
+                policy=tuple(sorted(sp.roles())), sp=sp.to_text(),
+                result_roles=sorted(result_roles),
+                result_sps=len(current),
+                conservative=(self.conservative_refinements
+                              - conservative_before),
+            )
         return current
 
     def _refine_one(self, sp: SecurityPunctuation,
@@ -347,6 +370,9 @@ class SPAnalyzer:
             )]
         combined = combine_batch(refined)
         self.sps_out += len(combined)
+        if self.tracer.enabled:
+            self.tracer.span("analyzer.batch", ts=ts, sps_in=len(sps),
+                             sps_out=len(combined))
         return combined
 
     def effective_policy(self, sps: Sequence[SecurityPunctuation]) -> AccessPolicy:

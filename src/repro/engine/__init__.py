@@ -1,5 +1,6 @@
 """Query engine: physical plans, pipelined executor, DSMS facade."""
 
+from repro.engine.api import OptimizeLevel
 from repro.engine.catalog import RegisteredStream, StreamCatalog
 from repro.engine.dsms import DSMS, QueryResult
 from repro.engine.executor import ExecutionReport, Executor
@@ -11,6 +12,7 @@ __all__ = [
     "DSMS",
     "ExecutionReport",
     "Executor",
+    "OptimizeLevel",
     "PhysicalPlan",
     "PlanNode",
     "QueryResult",

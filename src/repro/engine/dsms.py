@@ -32,11 +32,13 @@ from repro.algebra.statistics import StreamStatistics
 from repro.core.analyzer import SPAnalyzer
 from repro.core.bitmap import RoleSet, RoleUniverse
 from repro.core.punctuation import SecurityPunctuation
+from repro.engine.api import OptimizeLevel
 from repro.engine.catalog import StreamCatalog
 from repro.engine.executor import ExecutionReport, Executor
 from repro.engine.plan import PhysicalPlan
 from repro.engine.query import ContinuousQuery
 from repro.errors import QueryError
+from repro.observability import AuditLog, Observability
 from repro.operators.shield import SecurityShield
 from repro.operators.sink import CollectingSink
 from repro.stream.element import StreamElement
@@ -72,17 +74,29 @@ class DSMS:
     """A centralized data stream management system with sp enforcement."""
 
     def __init__(self, *, rbac: RBACModel | None = None,
-                 universe: RoleUniverse | None = None):
+                 universe: RoleUniverse | None = None,
+                 observability: Observability | None = None):
         if universe is None:
             universe = rbac.universe if rbac is not None else RoleUniverse()
         self.universe = universe
         self.rbac = rbac
+        #: Audit log + trace sink; the default records nothing and
+        #: costs nothing (pass ``Observability.in_memory()`` to turn
+        #: the audit trail and tracing on).
+        self.observability = (observability if observability is not None
+                              else Observability.disabled())
         self.analyzer = SPAnalyzer(universe)
+        self.analyzer.bind_observability(self.observability)
         self.catalog = StreamCatalog()
         self.queries: dict[str, ContinuousQuery] = {}
         self._live_plan: PhysicalPlan | None = None
         self._live_shields: dict[str, list[SecurityShield]] = {}
         self.last_report: ExecutionReport | None = None
+
+    @property
+    def audit(self) -> AuditLog | None:
+        """The security audit trail (``None`` when observability is off)."""
+        return self.observability.audit
 
     # -- streams --------------------------------------------------------
     def register_stream(self, schema: StreamSchema,
@@ -154,22 +168,35 @@ class DSMS:
         self.queries[name] = query.with_expr(new_expr)
         self.queries[name].roles = roles  # type: ignore[misc]
         for shield in self._live_shields.get(name, ()):
-            shield.predicate = RoleSet(roles)
-            shield.conjuncts = (shield.predicate,)
-            shield._predicate_list = sorted(roles)  # noqa: SLF001
-            shield._decision_stale = True  # noqa: SLF001
+            shield.rebind(RoleSet(roles))
+
+    def shields(self, query_name: str) -> tuple[SecurityShield, ...]:
+        """Read-only view of a query's live Security Shields.
+
+        Includes the per-query delivery shield; empty until a plan has
+        been compiled (:meth:`build_plan`, :meth:`run` or
+        :meth:`open_session`).  This is the public surface callers and
+        the audit layer use instead of reaching into plan internals.
+        """
+        if query_name not in self.queries:
+            raise QueryError(f"unknown query: {query_name!r}")
+        return tuple(self._live_shields.get(query_name, ()))
 
     # -- execution -----------------------------------------------------------
-    def build_plan(self, *, optimize: "bool | str" = False
+    def build_plan(self, *,
+                   optimize: "OptimizeLevel | bool | str" = OptimizeLevel.NONE
                    ) -> tuple[PhysicalPlan, dict[str, CollectingSink]]:
         """Compile all registered queries into one shared physical plan.
 
-        ``optimize`` may be ``False`` (compile as registered), ``True``
-        (optimize each query in isolation) or ``"workload"`` (Section
-        VI.C multi-query optimization: choose per-query plans that
-        minimize the cost of the workload with shared subplans counted
-        once).
+        ``optimize`` is an :class:`~repro.engine.api.OptimizeLevel`:
+        ``NONE`` (compile as registered), ``PER_QUERY`` (optimize each
+        query in isolation) or ``WORKLOAD`` (Section VI.C multi-query
+        optimization: choose per-query plans that minimize the cost of
+        the workload with shared subplans counted once).  The legacy
+        ``False`` / ``True`` / ``"workload"`` values are accepted with
+        a :class:`DeprecationWarning`.
         """
+        level = OptimizeLevel.coerce(optimize)
         if not self.queries:
             raise QueryError("no queries registered")
         plan = PhysicalPlan(self.universe)
@@ -184,16 +211,16 @@ class DSMS:
         optimizer.cost_model.catalog = self.catalog.statistics
         self._live_shields = {}
         workload_plans: dict[str, object] = {}
-        if optimize == "workload":
+        if level is OptimizeLevel.WORKLOAD:
             names = list(self.queries)
             result = optimizer.optimize_workload(
                 [self.queries[name].expr for name in names])
             workload_plans = dict(zip(names, result.plans))
         for name, query in self.queries.items():
             expr = query.expr
-            if optimize == "workload":
+            if level is OptimizeLevel.WORKLOAD:
                 expr = workload_plans[name]
-            elif optimize:
+            elif level is OptimizeLevel.PER_QUERY:
                 expr = optimizer.optimize(expr).plan
             sink = CollectingSink(name=f"sink:{name}")
             # The delivery shield is a fixed final check: results are
@@ -205,15 +232,23 @@ class DSMS:
                                       name=f"delivery:{name}")
             plan.compile_chain(expr, [delivery, sink])
             sinks[name] = sink
-            shields = [
-                plan._expr_cache[node].operator  # noqa: SLF001
-                for node in walk(expr)
-                if isinstance(node, ShieldExpr)
-                and node in plan._expr_cache  # noqa: SLF001
-            ]
-            self._live_shields[name] = [
-                s for s in shields if isinstance(s, SecurityShield)
-            ] + [delivery]
+            shields = []
+            for node in walk(expr):
+                if not isinstance(node, ShieldExpr):
+                    continue
+                compiled = plan.compiled_node(node)
+                if compiled is not None and isinstance(
+                        compiled.operator, SecurityShield):
+                    shields.append(compiled.operator)
+            self._live_shields[name] = shields + [delivery]
+            for shield in self._live_shields[name]:
+                self.observability.bind(shield, query=name)
+        # Shared (query-anonymous) operators — joins, dup-elim,
+        # group-by — record through the same audit log.
+        if self.observability.audit is not None:
+            for operator in plan.operators():
+                if operator.audit is None:
+                    self.observability.bind(operator)
         self._live_plan = plan
         return plan, sinks
 
@@ -233,7 +268,9 @@ class DSMS:
                 sources.append(registered.source)
         return sources
 
-    def open_session(self, *, optimize: bool = False,
+    def open_session(self, *,
+                     optimize: "OptimizeLevel | bool | str" =
+                     OptimizeLevel.NONE,
                      analyze_sps: bool = True):
         """Open a live :class:`~repro.engine.session.StreamingSession`.
 
@@ -247,17 +284,20 @@ class DSMS:
         return StreamingSession(self, optimize=optimize,
                                 analyze_sps=analyze_sps)
 
-    def run(self, *, optimize: "bool | str" = False,
+    def run(self, *,
+            optimize: "OptimizeLevel | bool | str" = OptimizeLevel.NONE,
             analyze_sps: bool = True) -> dict[str, QueryResult]:
         """Execute all queries over all registered sources.
 
-        ``optimize`` as in :meth:`build_plan` (``False`` / ``True`` /
-        ``"workload"``).
+        ``optimize`` as in :meth:`build_plan` (an
+        :class:`~repro.engine.api.OptimizeLevel`; legacy bool/str
+        values accepted with a :class:`DeprecationWarning`).
         """
         plan, sinks = self.build_plan(optimize=optimize)
         sources = (self._analyzed_sources() if analyze_sps
                    else self.catalog.sources())
-        executor = Executor(plan, sources)
+        executor = Executor(plan, sources,
+                            tracer=self.observability.tracer)
         self.last_report = executor.run()
         return {
             name: QueryResult(name, list(sink.elements))

@@ -6,6 +6,13 @@ operator's output elements are delivered to its downstream operators
 before the next input element is consumed.  This is the synchronous
 equivalent of a pipelined DSMS scheduler and keeps executions fully
 deterministic (the property the plan-equivalence tests build on).
+
+Observability: the executor emits ``executor.run`` span events to its
+:class:`~repro.observability.TraceSink` (no-op by default) and, at the
+end of a run, snapshots every operator's
+:class:`~repro.observability.StageStats` into the
+:class:`ExecutionReport` — the per-stage breakdown the ``repro stats``
+CLI prints.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ import time
 from typing import Iterable
 
 from repro.engine.plan import PhysicalPlan, PlanNode
+from repro.observability.stats import StageStats, aggregate_stages
+from repro.observability.trace import NullTraceSink, TraceSink
 from repro.stream.element import StreamElement
 from repro.stream.source import StreamSource, merge_sources
 
@@ -21,33 +30,58 @@ __all__ = ["Executor", "ExecutionReport"]
 
 
 class ExecutionReport:
-    """Summary of one plan execution."""
+    """Summary of one plan execution, including per-stage metrics."""
 
-    __slots__ = ("elements_in", "tuples_in", "sps_in", "wall_time")
+    __slots__ = ("elements_in", "tuples_in", "sps_in", "wall_time",
+                 "stages")
 
     def __init__(self):
         self.elements_in = 0
         self.tuples_in = 0
         self.sps_in = 0
         self.wall_time = 0.0
+        #: Per-operator :class:`StageStats` snapshots (plan order).
+        self.stages: list[StageStats] = []
+
+    def stage(self, name: str) -> StageStats | None:
+        """The snapshot of the operator named ``name``, if present."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def totals(self) -> dict:
+        """Whole-plan aggregates across all stages."""
+        return aggregate_stages(self.stages)
+
+    @property
+    def total_drops(self) -> int:
+        return sum(stage.drops for stage in self.stages)
 
     def __repr__(self) -> str:
         return (f"ExecutionReport(elements={self.elements_in}, "
-                f"wall={self.wall_time:.4f}s)")
+                f"wall={self.wall_time:.4f}s, "
+                f"stages={len(self.stages)})")
 
 
 class Executor:
     """Drives a physical plan over a set of sources."""
 
-    def __init__(self, plan: PhysicalPlan, sources: Iterable[StreamSource]):
+    def __init__(self, plan: PhysicalPlan, sources: Iterable[StreamSource],
+                 *, tracer: TraceSink | None = None):
         self.plan = plan
         self.sources = list(sources)
+        self.tracer = tracer if tracer is not None else NullTraceSink()
 
     def run(self) -> ExecutionReport:
         """Consume all sources to exhaustion, then flush the plan."""
         from repro.stream.element import is_punctuation
 
         report = ExecutionReport()
+        if self.tracer.enabled:
+            self.tracer.span("executor.run.start",
+                             sources=len(self.sources),
+                             operators=len(self.plan.nodes))
         start = time.perf_counter()
         entries = self.plan.entries
         for stream_id, element in merge_sources(self.sources):
@@ -60,7 +94,19 @@ class Executor:
                 self._push(node, element, port)
         self._flush()
         report.wall_time = time.perf_counter() - start
+        report.stages = self.stage_stats()
+        if self.tracer.enabled:
+            self.tracer.span("executor.run.end",
+                             elements_in=report.elements_in,
+                             tuples_in=report.tuples_in,
+                             sps_in=report.sps_in,
+                             drops=report.total_drops,
+                             wall_time=report.wall_time)
         return report
+
+    def stage_stats(self) -> list[StageStats]:
+        """Current per-operator metric snapshots (plan order)."""
+        return [node.operator.stage_stats() for node in self.plan.nodes]
 
     def feed(self, stream_id: str, element: StreamElement) -> None:
         """Push one element into the plan (incremental driving)."""
@@ -78,6 +124,8 @@ class Executor:
 
     def _flush(self) -> None:
         """End-of-stream: flush operators in topological order."""
+        if self.tracer.enabled:
+            self.tracer.span("executor.flush")
         for node in self.plan.topological():
             for out in node.operator.flush():
                 for child, child_port in node.downstream:

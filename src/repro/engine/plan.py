@@ -178,6 +178,16 @@ class PhysicalPlan:
         raise PlanError(f"cannot compile {type(expr).__name__}")
 
     # -- introspection ----------------------------------------------------------
+    def compiled_node(self, expr: LogicalExpr) -> PlanNode | None:
+        """The plan node a compiled logical expression produced.
+
+        Public accessor for callers (the DSMS facade, the audit layer)
+        that need to map query expressions back to live operators;
+        ``None`` for expressions not compiled into this plan (scans
+        compile to stream entries, not nodes).
+        """
+        return self._expr_cache.get(expr)
+
     def topological(self) -> list[PlanNode]:
         """Nodes ordered so parents precede children."""
         indegree: dict[int, int] = {node.node_id: 0 for node in self.nodes}

@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.punctuation import SecurityPunctuation
-from repro.engine.executor import Executor
+from repro.engine.api import OptimizeLevel
+from repro.engine.executor import ExecutionReport, Executor
 from repro.errors import QueryError, StreamError
 from repro.stream.element import StreamElement
 from repro.stream.tuples import DataTuple
@@ -39,11 +40,14 @@ class StreamingSession:
     instantiated directly.
     """
 
-    def __init__(self, dsms, *, optimize: bool = False,
+    def __init__(self, dsms, *,
+                 optimize: "OptimizeLevel | bool | str" =
+                 OptimizeLevel.NONE,
                  analyze_sps: bool = True):
         self._dsms = dsms
         self._plan, self._sinks = dsms.build_plan(optimize=optimize)
-        self._executor = Executor(self._plan, [])
+        self._tracer = dsms.observability.tracer
+        self._executor = Executor(self._plan, [], tracer=self._tracer)
         self._analyze = analyze_sps
         self._callbacks: dict[str, ResultCallback] = {}
         self._consumed: dict[str, int] = {name: 0 for name in self._sinks}
@@ -51,6 +55,15 @@ class StreamingSession:
         self._pending_sps: dict[str, list[SecurityPunctuation]] = {}
         self._closed = False
         self.elements_pushed = 0
+        if self._tracer.enabled:
+            self._tracer.span("session.open",
+                              queries=sorted(self._sinks),
+                              operators=len(self._plan.nodes))
+
+    @property
+    def audit(self):
+        """The owning DSMS's audit log (``None`` when disabled)."""
+        return self._dsms.observability.audit
 
     # -- subscriptions ------------------------------------------------------
     def subscribe(self, query_name: str, callback: ResultCallback) -> None:
@@ -82,6 +95,11 @@ class StreamingSession:
                 f"after {last} (use a ReorderBuffer upstream)")
         self._last_ts[stream_id] = element.ts
         self.elements_pushed += 1
+        if self._tracer.enabled:
+            self._tracer.span(
+                "session.push", stream=stream_id, ts=element.ts,
+                kind=("sp" if isinstance(element, SecurityPunctuation)
+                      else "tuple"))
 
         for item in self._ingest(stream_id, element):
             self._executor.feed(stream_id, item)
@@ -138,6 +156,18 @@ class StreamingSession:
         return [e for e in self._sinks[query_name].elements
                 if isinstance(e, DataTuple)]
 
+    def report(self) -> ExecutionReport:
+        """Point-in-time execution report over the live plan.
+
+        Unlike :meth:`~repro.engine.dsms.DSMS.run`'s report this can be
+        taken mid-session: stage metrics reflect everything pushed so
+        far.
+        """
+        report = ExecutionReport()
+        report.elements_in = self.elements_pushed
+        report.stages = self._executor.stage_stats()
+        return report
+
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> dict[str, list[StreamElement]]:
         """Flush held sp-batches and operator state; final results."""
@@ -150,6 +180,9 @@ class StreamingSession:
         self._pending_sps.clear()
         self._executor._flush()  # noqa: SLF001 - same package
         self._closed = True
+        if self._tracer.enabled:
+            self._tracer.span("session.close",
+                              elements_pushed=self.elements_pushed)
         return self._collect_new()
 
     def __enter__(self) -> "StreamingSession":

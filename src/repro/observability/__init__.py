@@ -1,0 +1,57 @@
+"""Runtime observability: audit trail, operator metrics, tracing.
+
+The paper's enforcement mechanisms are deliberately *silent*: a
+Security Shield drops unauthorized tuples, the SAJoin skips
+incompatible probes (Lemma 5.1), the SP Analyzer intersects provider
+sps with server policies — and none of it leaves a runtime trace.
+Production access-control systems treat the decision log as a
+first-class output; this package adds one without touching enforcement
+semantics:
+
+* :class:`AuditLog` — a bounded, structured record of every security
+  decision (shield segment verdicts and per-tuple drops, analyzer
+  server-policy refinements, SAJoin policy rejections and skip-rule
+  hits, delivery-shield rejections), queryable per query and
+  exportable as JSONL.
+* :class:`StageStats` — per-operator metrics (elements in/out, drops,
+  processing-time EWMA, queue depth) snapshotted from every plan
+  operator and aggregated into the
+  :class:`~repro.engine.executor.ExecutionReport`.
+* :class:`TraceSink` — a pluggable span-event protocol with a no-op
+  default (:class:`NullTraceSink`), an in-memory ring buffer
+  (:class:`RingBufferTraceSink`) and a JSONL file sink
+  (:class:`JsonlTraceSink`); span events are emitted by the executor,
+  streaming sessions and the SP Analyzer.
+
+Everything is off by default — a :class:`~repro.engine.dsms.DSMS`
+built without an explicit :class:`Observability` pays only a handful
+of ``is None`` checks.  Enable with::
+
+    from repro import DSMS, Observability
+
+    dsms = DSMS(observability=Observability.in_memory())
+    ...
+    dsms.run()
+    for event in dsms.audit.explain(tuple_id):
+        print(event)
+"""
+
+from repro.observability.audit import AuditEvent, AuditLog
+from repro.observability.hub import Observability
+from repro.observability.stats import StageStats, aggregate_stages
+from repro.observability.trace import (JsonlTraceSink, NullTraceSink,
+                                       RingBufferTraceSink, SpanEvent,
+                                       TraceSink)
+
+__all__ = [
+    "AuditEvent",
+    "AuditLog",
+    "JsonlTraceSink",
+    "NullTraceSink",
+    "Observability",
+    "RingBufferTraceSink",
+    "SpanEvent",
+    "StageStats",
+    "TraceSink",
+    "aggregate_stages",
+]

@@ -1,0 +1,200 @@
+"""The security audit trail: who was denied what, and why.
+
+Every enforcement decision the engine takes is describable as "this
+operator, under this role predicate, applied this sp to this element".
+:class:`AuditEvent` captures exactly that tuple of facts;
+:class:`AuditLog` keeps a bounded history of them.
+
+Event kinds currently recorded:
+
+``shield.segment``
+    A Security Shield evaluated a newly finalized sp-batch against its
+    predicate; the verdict governs every tuple of the segment.
+``shield.drop``
+    A shield (including the per-query delivery shield) discarded one
+    tuple.  Exactly one event per denied tuple per shield.
+``shield.rebind``
+    A shield's predicate was rewritten at runtime
+    (:meth:`~repro.operators.shield.SecurityShield.rebind`).
+``analyzer.refine``
+    The SP Analyzer intersected a provider sp with server policies.
+``join.policy_reject``
+    An SAJoin pair matched on the join value but had incompatible
+    policies (Table I: empty policy intersection).
+``join.deny``
+    A probing tuple fell under denial-by-default (empty own policy)
+    and joined with nothing.
+``join.skip``
+    The SPIndex skipping rule (Lemma 5.1) suppressed duplicate segment
+    visits during one probe.
+``dupelim.suppress``
+    Duplicate elimination suppressed a value all authorized roles had
+    already seen (Section IV.B case 2).
+``groupby.merge``
+    Group-by merged attribute subgroups bridged by a tuple's policy.
+
+The log is bounded: once ``capacity`` events are held, recording a new
+one evicts the oldest (``evicted`` counts how many were lost).  Counts
+per kind are kept unbounded, so rates stay exact even after eviction.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterator
+
+__all__ = ["AuditEvent", "AuditLog"]
+
+DEFAULT_CAPACITY = 10_000
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One recorded security decision."""
+
+    #: Monotonic sequence number (order of recording).
+    seq: int
+    #: Event kind (``shield.drop``, ``analyzer.refine``, ...).
+    kind: str
+    #: Stream timestamp of the element that triggered the decision.
+    ts: float
+    #: Name of the deciding operator (or ``SPAnalyzer``).
+    operator: str
+    #: Query the operator enforces for, when attributable.
+    query: str | None = None
+    #: Stream id of the affected tuple, if the decision concerns one.
+    sid: str | None = None
+    #: Tuple id of the affected tuple.
+    tid: object | None = None
+    #: The security predicate in force (sorted role names).
+    predicate: tuple[str, ...] = ()
+    #: The resolved policy roles the predicate was checked against.
+    policy: tuple[str, ...] = ()
+    #: Text rendering of the sp(s) that decided the outcome.
+    sp: str | None = None
+    #: Kind-specific extras (counts, before/after role sets, ...).
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record = asdict(self)
+        record["predicate"] = list(self.predicate)
+        record["policy"] = list(self.policy)
+        return record
+
+    def __str__(self) -> str:
+        core = f"#{self.seq} {self.kind} op={self.operator}"
+        if self.query is not None:
+            core += f" query={self.query}"
+        if self.tid is not None:
+            core += f" tuple={self.sid}:{self.tid}@{self.ts}"
+        if self.predicate:
+            core += f" predicate={list(self.predicate)}"
+        if self.sp:
+            core += f" sp=<{self.sp}>"
+        return core
+
+
+class AuditLog:
+    """Bounded, queryable history of :class:`AuditEvent` records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("audit log capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[AuditEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        #: Events recorded but no longer held (bounded-log eviction).
+        self.evicted = 0
+        #: Exact per-kind totals, unaffected by eviction.
+        self.counts: Counter[str] = Counter()
+
+    # -- recording ---------------------------------------------------------
+    def record(self, kind: str, *, ts: float, operator: str,
+               query: str | None = None, sid: str | None = None,
+               tid: object | None = None,
+               predicate: tuple[str, ...] = (),
+               policy: tuple[str, ...] = (),
+               sp: str | None = None,
+               **detail) -> AuditEvent:
+        """Append one event; returns it (mainly for tests)."""
+        event = AuditEvent(seq=self._seq, kind=kind, ts=ts,
+                           operator=operator, query=query, sid=sid,
+                           tid=tid, predicate=predicate, policy=policy,
+                           sp=sp, detail=detail)
+        self._seq += 1
+        if len(self._events) == self.capacity:
+            self.evicted += 1
+        self._events.append(event)
+        self.counts[kind] += 1
+        return event
+
+    # -- querying ----------------------------------------------------------
+    def events(self, *, query: str | None = None,
+               kind: str | None = None) -> list[AuditEvent]:
+        """Held events, optionally filtered by query and/or kind."""
+        out = []
+        for event in self._events:
+            if query is not None and event.query != query:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            out.append(event)
+        return out
+
+    def explain(self, tuple_id: object, *,
+                sid: str | None = None) -> list[AuditEvent]:
+        """Every held decision that touched the tuple ``tuple_id``.
+
+        This is the "why was my tuple dropped?" query: the returned
+        events name the operator, the predicate and the sp that decided
+        each outcome.  ``sid`` narrows to one stream when tuple ids are
+        reused across streams.
+        """
+        out = []
+        for event in self._events:
+            if event.tid != tuple_id:
+                continue
+            if sid is not None and event.sid != sid:
+                continue
+            out.append(event)
+        return out
+
+    def last(self, kind: str | None = None) -> AuditEvent | None:
+        """Most recent held event (of ``kind``, if given)."""
+        for event in reversed(self._events):
+            if kind is None or event.kind == kind:
+                return event
+        return None
+
+    # -- export -------------------------------------------------------------
+    def to_jsonl(self, fp: IO[str]) -> int:
+        """Write held events as JSON lines; returns the line count."""
+        count = 0
+        for event in self._events:
+            fp.write(json.dumps(event.to_dict(), default=str,
+                                separators=(",", ":")))
+            fp.write("\n")
+            count += 1
+        return count
+
+    def dump_jsonl(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as fp:
+            return self.to_jsonl(fp)
+
+    # -- bookkeeping ---------------------------------------------------------
+    def clear(self) -> None:
+        self._events.clear()
+        self.counts.clear()
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuditEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return (f"AuditLog(held={len(self._events)}, "
+                f"recorded={self._seq}, evicted={self.evicted})")

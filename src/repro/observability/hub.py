@@ -1,0 +1,65 @@
+"""The Observability hub: one object wiring audit + tracing into a DSMS.
+
+:class:`Observability` bundles the optional :class:`AuditLog` and the
+:class:`TraceSink` a DSMS runs with.  The default (built by
+:meth:`Observability.disabled`) carries no audit log and a
+:class:`NullTraceSink`, so instrumented code paths reduce to cheap
+``is None`` / ``enabled`` checks.  :meth:`Observability.in_memory`
+turns everything on with bounded in-memory storage.
+"""
+
+from __future__ import annotations
+
+from repro.observability.audit import DEFAULT_CAPACITY, AuditLog
+from repro.observability.trace import (NullTraceSink, RingBufferTraceSink,
+                                       TraceSink)
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Audit log + trace sink shared by one DSMS and its plans."""
+
+    def __init__(self, *, audit: AuditLog | None = None,
+                 tracer: TraceSink | None = None):
+        self.audit = audit
+        self.tracer = tracer if tracer is not None else NullTraceSink()
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """No audit, no tracing — the zero-overhead default."""
+        return cls()
+
+    @classmethod
+    def in_memory(cls, *, audit_capacity: int = DEFAULT_CAPACITY,
+                  trace_capacity: int = 4096) -> "Observability":
+        """Bounded in-memory audit log + ring-buffer trace sink."""
+        return cls(audit=AuditLog(audit_capacity),
+                   tracer=RingBufferTraceSink(trace_capacity))
+
+    @property
+    def enabled(self) -> bool:
+        return self.audit is not None or self.tracer.enabled
+
+    # -- wiring -------------------------------------------------------------
+    def bind(self, operator, query: str | None = None) -> None:
+        """Point one plan operator at this hub's audit log.
+
+        Operators record through their ``audit`` attribute; ``query``
+        attributes events to a specific registered query (shields and
+        delivery shields), ``None`` leaves shared operators
+        query-anonymous.
+        """
+        if self.audit is not None:
+            operator.audit = self.audit
+            operator.audit_query = query
+
+    def span(self, name: str, **attrs) -> None:
+        """Emit one trace span event (no-op when tracing is off)."""
+        if self.tracer.enabled:
+            self.tracer.span(name, **attrs)
+
+    def __repr__(self) -> str:
+        return (f"Observability(audit={self.audit!r}, "
+                f"tracer={type(self.tracer).__name__})")

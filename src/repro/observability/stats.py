@@ -1,0 +1,80 @@
+"""Per-operator stage metrics.
+
+Every :class:`~repro.operators.base.Operator` maintains raw counters
+(:class:`~repro.operators.base.OperatorStats`) plus an EWMA of its
+per-element processing time.  :class:`StageStats` is the immutable
+snapshot of one operator's counters at a point in time — the unit the
+:class:`~repro.engine.executor.ExecutionReport` aggregates and the
+``repro stats`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StageStats", "aggregate_stages"]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Snapshot of one plan operator's runtime metrics."""
+
+    #: Operator instance name (unique within a plan in practice).
+    name: str
+    #: Operator class name (``SecurityShield``, ``IndexSAJoin``, ...).
+    kind: str
+    tuples_in: int
+    tuples_out: int
+    sps_in: int
+    sps_out: int
+    #: Elements this operator discarded for security/semantic reasons
+    #: (shield blocks, join policy rejects, suppressed duplicates).
+    drops: int
+    comparisons: int
+    state_ops: int
+    #: Accumulated wall-clock seconds inside ``process()``.
+    processing_time: float
+    #: Exponentially weighted moving average of per-element
+    #: processing seconds (alpha=0.05): the "current speed" signal.
+    ewma_seconds: float
+    #: Elements currently held in operator state.
+    queue_depth: int
+
+    @property
+    def elements_in(self) -> int:
+        return self.tuples_in + self.sps_in
+
+    @property
+    def elements_out(self) -> int:
+        return self.tuples_out + self.sps_out
+
+    @property
+    def selectivity(self) -> float:
+        """Tuple pass-through ratio (1.0 when nothing arrived yet)."""
+        if self.tuples_in == 0:
+            return 1.0
+        return self.tuples_out / self.tuples_in
+
+    def to_row(self) -> list:
+        """Table row for the ``repro stats`` report."""
+        return [self.name, self.kind, self.tuples_in, self.tuples_out,
+                self.sps_in, self.sps_out, self.drops,
+                self.processing_time, self.ewma_seconds,
+                self.queue_depth]
+
+    HEADERS = ("operator", "kind", "t_in", "t_out", "sp_in", "sp_out",
+               "drops", "time_s", "ewma_s", "queue")
+
+
+def aggregate_stages(stages: "list[StageStats]") -> dict:
+    """Whole-plan totals across a list of stage snapshots."""
+    return {
+        "operators": len(stages),
+        "tuples_in": sum(s.tuples_in for s in stages),
+        "tuples_out": sum(s.tuples_out for s in stages),
+        "sps_in": sum(s.sps_in for s in stages),
+        "sps_out": sum(s.sps_out for s in stages),
+        "drops": sum(s.drops for s in stages),
+        "processing_time": sum(s.processing_time for s in stages),
+        "queue_depth": sum(s.queue_depth for s in stages),
+    }

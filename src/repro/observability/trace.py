@@ -1,0 +1,119 @@
+"""Pluggable tracing: span events from the engine's control points.
+
+A :class:`TraceSink` receives :class:`SpanEvent` records from the
+executor (run start/end, flush), streaming sessions (open, push,
+close) and the SP Analyzer (per processed sp-batch).  The protocol is
+deliberately tiny — ``enabled`` plus ``emit`` — so emission sites can
+guard attribute construction behind a single flag check and the
+default :class:`NullTraceSink` costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO
+
+__all__ = ["SpanEvent", "TraceSink", "NullTraceSink",
+           "RingBufferTraceSink", "JsonlTraceSink"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One trace record: a named point (or span edge) with attributes."""
+
+    name: str
+    #: Wall-clock time of emission (``time.time()``).
+    wall: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "wall": self.wall, **self.attrs}
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        return f"{self.name} {parts}".rstrip()
+
+
+class TraceSink:
+    """Base protocol: subclasses implement :meth:`emit`.
+
+    ``enabled`` lets emission sites skip building event attributes
+    entirely; sinks that record must leave it ``True``.
+    """
+
+    enabled = True
+
+    def emit(self, event: SpanEvent) -> None:
+        raise NotImplementedError
+
+    def span(self, name: str, **attrs) -> None:
+        """Convenience: build and emit one event stamped now."""
+        if self.enabled:
+            self.emit(SpanEvent(name, time.time(), attrs))
+
+    def close(self) -> None:
+        """Release resources (file sinks); default no-op."""
+
+
+class NullTraceSink(TraceSink):
+    """The default sink: records nothing, costs nothing."""
+
+    enabled = False
+
+    def emit(self, event: SpanEvent) -> None:
+        pass
+
+
+class RingBufferTraceSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("trace ring buffer capacity must be positive")
+        self._events: deque[SpanEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: SpanEvent) -> None:
+        self._events.append(event)
+
+    def events(self, name: str | None = None) -> list[SpanEvent]:
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e.name == name]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlTraceSink(TraceSink):
+    """Streams every event to a JSONL file (or open file object)."""
+
+    def __init__(self, target: "str | IO[str]"):
+        if isinstance(target, str):
+            self._fp: IO[str] = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fp = target
+            self._owned = False
+        self.emitted = 0
+
+    def emit(self, event: SpanEvent) -> None:
+        self._fp.write(json.dumps(event.to_dict(), default=str,
+                                  separators=(",", ":")))
+        self._fp.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owned and not self._fp.closed:
+            self._fp.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

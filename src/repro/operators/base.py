@@ -41,11 +41,16 @@ __all__ = ["OperatorStats", "Operator", "UnaryOperator", "BinaryOperator",
 _POSITIVE = Sign.POSITIVE
 
 
+#: Smoothing factor for the per-element processing-time EWMA.
+EWMA_ALPHA = 0.05
+
+
 class OperatorStats:
     """Counters and timing for one operator instance."""
 
     __slots__ = ("tuples_in", "tuples_out", "sps_in", "sps_out",
-                 "comparisons", "state_ops", "processing_time")
+                 "comparisons", "state_ops", "processing_time",
+                 "ewma_seconds")
 
     def __init__(self):
         self.tuples_in = 0
@@ -59,6 +64,8 @@ class OperatorStats:
         self.state_ops = 0
         #: Accumulated wall-clock seconds inside ``process()``.
         self.processing_time = 0.0
+        #: EWMA of per-element processing seconds (current speed).
+        self.ewma_seconds = 0.0
 
     def snapshot(self) -> dict:
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -81,6 +88,11 @@ class Operator:
     def __init__(self, name: str | None = None):
         self.name = name or type(self).__name__
         self.stats = OperatorStats()
+        #: Audit log to record security decisions into (set by the
+        #: observability hub; ``None`` keeps the fast path silent).
+        self.audit = None
+        #: Query name audit events are attributed to, when known.
+        self.audit_query: str | None = None
 
     def process(self, element: StreamElement,
                 port: int = 0) -> list[StreamElement]:
@@ -91,18 +103,21 @@ class Operator:
         """
         if not 0 <= port < self.arity:
             raise PlanError(f"{self.name}: invalid port {port}")
+        stats = self.stats
         start = time.perf_counter()
         out = self._process(element, port)
-        self.stats.processing_time += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        stats.processing_time += elapsed
+        stats.ewma_seconds += EWMA_ALPHA * (elapsed - stats.ewma_seconds)
         if isinstance(element, SecurityPunctuation):
-            self.stats.sps_in += 1
+            stats.sps_in += 1
         else:
-            self.stats.tuples_in += 1
+            stats.tuples_in += 1
         for item in out:
             if isinstance(item, SecurityPunctuation):
-                self.stats.sps_out += 1
+                stats.sps_out += 1
             else:
-                self.stats.tuples_out += 1
+                stats.tuples_out += 1
         return out
 
     def _process(self, element: StreamElement,
@@ -116,6 +131,35 @@ class Operator:
     def state_size(self) -> int:
         """Number of elements held in operator state (for memory plots)."""
         return 0
+
+    def drops(self) -> int:
+        """Elements discarded for security/semantic reasons.
+
+        Subclasses with a discard path (shields, joins, dup-elim)
+        override this; transformations that merely don't emit (e.g. a
+        failed selection) don't count as drops.
+        """
+        return 0
+
+    def stage_stats(self) -> "StageStats":
+        """Immutable snapshot of this operator's runtime metrics."""
+        from repro.observability.stats import StageStats
+
+        stats = self.stats
+        return StageStats(
+            name=self.name,
+            kind=type(self).__name__,
+            tuples_in=stats.tuples_in,
+            tuples_out=stats.tuples_out,
+            sps_in=stats.sps_in,
+            sps_out=stats.sps_out,
+            drops=self.drops(),
+            comparisons=stats.comparisons,
+            state_ops=stats.state_ops,
+            processing_time=stats.processing_time,
+            ewma_seconds=stats.ewma_seconds,
+            queue_depth=self.state_size(),
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
@@ -331,6 +375,17 @@ class PolicyTracker:
 
     def has_pending_sps(self) -> bool:
         return bool(self._pending) or bool(self._batch)
+
+    def current_sps(self) -> tuple[SecurityPunctuation, ...]:
+        """Raw sp-batch of the policy currently in force.
+
+        Public accessor for the audit layer: these are the sps that
+        decide the fate of tuples in the current segment.  Empty before
+        the first sp arrives (denial-by-default).
+        """
+        if self._batch:
+            self._finalize_batch()
+        return self._current_raw if self._current_raw is not None else ()
 
 
 class SPEmitter:

@@ -118,6 +118,14 @@ class DuplicateElimination(UnaryOperator):
             out.append(element)
         elif common == new:  # case 2
             self.duplicates_suppressed += 1
+            if self.audit is not None:
+                self.audit.record(
+                    "dupelim.suppress", ts=element.ts, operator=self.name,
+                    query=self.audit_query, sid=element.sid,
+                    tid=element.tid,
+                    policy=tuple(sorted(new.roles.names())),
+                    seen_by=sorted(old.roles.names()),
+                )
         else:  # case 3
             fresh = new.difference(common)
             entry.policy = old.union(new)
@@ -127,3 +135,6 @@ class DuplicateElimination(UnaryOperator):
 
     def state_size(self) -> int:
         return len(self._output)
+
+    def drops(self) -> int:
+        return self.duplicates_suppressed

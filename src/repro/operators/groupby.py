@@ -141,6 +141,16 @@ class GroupBy(UnaryOperator):
                 target.merge_from(other)
                 subgroups.remove(other)
                 self.merges += 1
+            if len(matching) > 1 and self.audit is not None:
+                # A tuple's policy bridged previously disjoint ASGs —
+                # visibility of the aggregate just widened.
+                self.audit.record(
+                    "groupby.merge", ts=element.ts, operator=self.name,
+                    query=self.audit_query, sid=element.sid,
+                    tid=element.tid,
+                    policy=tuple(sorted(policy.roles.names())),
+                    merged=len(matching) - 1, group=group_value,
+                )
             target.policy = target.policy.union(policy)
         target.add(element.ts, element.values.get(self.attribute))
         self._emit_result(group_value, target, element.ts, out)

@@ -53,6 +53,7 @@ class IndexSAJoin(SAJoinBase):
                port: int) -> list[StreamElement]:
         out: list[StreamElement] = []
         index = self.indexes[1 - port]
+        skipped_before = index.entries_skipped
         seen: set[int] | None = None if self.skipping else set()
         for segment in index.probe(policy.roles.names()):
             if seen is not None:
@@ -86,6 +87,16 @@ class IndexSAJoin(SAJoinBase):
                     if self._match(item, other, port):
                         self._emit(item, other, policy, other_policy,
                                    port, out)
+        skipped = index.entries_skipped - skipped_before
+        if skipped and self.audit is not None:
+            # Lemma 5.1 in action: this probe reached segments through
+            # several common roles and processed each only once.
+            self.audit.record(
+                "join.skip", ts=item.ts, operator=self.name,
+                query=self.audit_query, sid=item.sid, tid=item.tid,
+                policy=tuple(sorted(policy.roles.names())),
+                skipped=skipped,
+            )
         return out
 
     def _match(self, item: DataTuple, other: DataTuple, port: int) -> bool:

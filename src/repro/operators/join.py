@@ -160,6 +160,11 @@ class SAJoinBase(BinaryOperator):
         if policy is None or policy.is_empty():
             # Denial-by-default: a tuple nobody may access joins with
             # nothing (any intersection would be empty).
+            if self.audit is not None:
+                self.audit.record(
+                    "join.deny", ts=item.ts, operator=self.name,
+                    query=self.audit_query, sid=item.sid, tid=item.tid,
+                )
             return []
 
         # Probe.
@@ -186,6 +191,16 @@ class SAJoinBase(BinaryOperator):
         joined_policy = policy.intersect(other_policy)
         if joined_policy.is_empty():
             self.policy_rejects += 1
+            if self.audit is not None:
+                # Lemma-level evidence: the pair matched on the join
+                # value but the base policies share no role (Table I).
+                self.audit.record(
+                    "join.policy_reject", ts=item.ts, operator=self.name,
+                    query=self.audit_query, sid=item.sid, tid=item.tid,
+                    policy=tuple(sorted(policy.roles.names())),
+                    other_sid=other.sid, other_tid=other.tid,
+                    other_policy=sorted(other_policy.roles.names()),
+                )
             return
         if port == 0:
             merged = item.merge(other, self.output_sid)
@@ -198,6 +213,9 @@ class SAJoinBase(BinaryOperator):
     def state_size(self) -> int:
         return (self.windows[0].tuple_count() + self.windows[0].sp_count()
                 + self.windows[1].tuple_count() + self.windows[1].sp_count())
+
+    def drops(self) -> int:
+        return self.policy_rejects
 
     def cost_breakdown(self) -> dict[str, float]:
         """Figure 9 decomposition (seconds)."""

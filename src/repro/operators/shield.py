@@ -76,6 +76,34 @@ class SecurityShield(UnaryOperator):
         self.sps_blocked = 0
 
     # -- predicate management (used by SS split/merge rewrites) -------------
+    def rebind(self, roles: Iterable[str] | AbstractRoleSet) -> None:
+        """Rewrite the security predicate at runtime (role re-binding).
+
+        The paper's future-work item of runtime role changes:
+        :meth:`~repro.engine.dsms.DSMS.update_query_roles` calls this
+        on every live shield of a query.  The whole conjunction is
+        replaced by the single new role set; the change takes effect
+        for the very next processed element (the buffered segment
+        decision is invalidated).  When an audit log is attached, the
+        switch is recorded as a ``shield.rebind`` event.
+        """
+        old_predicate = tuple(self._predicate_list)
+        if not isinstance(roles, AbstractRoleSet):
+            roles = RoleSet(roles)
+        self.predicate = roles
+        self.conjuncts = (roles,)
+        self._predicate_list = sorted(roles.names())
+        self._decision_stale = True
+        if self.audit is not None:
+            sps = self.tracker.current_sps()
+            self.audit.record(
+                "shield.rebind",
+                ts=sps[-1].ts if sps else 0.0,
+                operator=self.name, query=self.audit_query,
+                predicate=tuple(self._predicate_list),
+                previous=list(old_predicate),
+            )
+
     def split(self, n_first: int = 1) -> tuple["SecurityShield",
                                                "SecurityShield"]:
         """Rule 1: split the conjunction into two stacked shields.
@@ -158,6 +186,8 @@ class SecurityShield(UnaryOperator):
             passing = self._segment_decision
         if not passing:
             self.tuples_blocked += 1
+            if self.audit is not None:
+                self._audit_drop(item)
             return []
         out: list[StreamElement] = []
         if self._held_sps:
@@ -186,9 +216,46 @@ class SecurityShield(UnaryOperator):
             self._segment_decision = None
             self._held_sps = pending
         self._decision_stale = False
+        if self.audit is not None:
+            self._audit_segment(item, policy)
+
+    # -- audit recording ----------------------------------------------------
+    def _describe_sps(self) -> str | None:
+        sps = self.tracker.current_sps()
+        if not sps:
+            return None
+        return " | ".join(sp.to_text() for sp in sps)
+
+    def _audit_segment(self, item: DataTuple, policy: TuplePolicy) -> None:
+        """One ``shield.segment`` event per evaluated sp-batch."""
+        if self._segment_decision is None:
+            verdict = "per-tuple"
+        else:
+            verdict = "pass" if self._segment_decision else "drop"
+        self.audit.record(
+            "shield.segment", ts=item.ts, operator=self.name,
+            query=self.audit_query,
+            predicate=tuple(self._predicate_list),
+            policy=tuple(sorted(policy.roles.names())),
+            sp=self._describe_sps(), verdict=verdict,
+        )
+
+    def _audit_drop(self, item: DataTuple) -> None:
+        """Exactly one ``shield.drop`` event per denied tuple."""
+        policy = self.tracker.policy_for(item)
+        self.audit.record(
+            "shield.drop", ts=item.ts, operator=self.name,
+            query=self.audit_query, sid=item.sid, tid=item.tid,
+            predicate=tuple(self._predicate_list),
+            policy=tuple(sorted(policy.roles.names())),
+            sp=self._describe_sps(),
+        )
 
     def state_size(self) -> int:
         return len(self.predicate)
+
+    def drops(self) -> int:
+        return self.tuples_blocked
 
     def __repr__(self) -> str:
         return (f"SecurityShield({sorted(self.predicate.names())}, "

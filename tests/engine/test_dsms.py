@@ -5,6 +5,7 @@ import pytest
 from repro.access.rbac import RBACModel
 from repro.algebra.expressions import ScanExpr
 from repro.core.punctuation import SecurityPunctuation
+from repro.engine.api import OptimizeLevel
 from repro.engine.dsms import DSMS
 from repro.errors import QueryError, StreamError
 from repro.operators.conditions import Comparison
@@ -81,7 +82,7 @@ class TestEnforcement:
         expr = ScanExpr("hr").select(Comparison("bpm", ">", 80))
         dsms.register_query("q", expr, roles={"D"})
         plain = dsms.run()["q"].tuples
-        optimized = dsms.run(optimize=True)["q"].tuples
+        optimized = dsms.run(optimize=OptimizeLevel.PER_QUERY)["q"].tuples
         assert [t.tid for t in plain] == [t.tid for t in optimized]
 
     def test_server_policy_refines(self):
@@ -161,7 +162,7 @@ class TestRuntimeRoleChange:
         dsms.register_query("q", ScanExpr("hr"), roles={"D"})
         plan, sinks = dsms.build_plan()
         dsms.update_query_roles("q", {"C"})
-        shields = dsms._live_shields["q"]
+        shields = dsms.shields("q")
         assert shields
         assert shields[0].predicate.names() == frozenset({"C"})
 

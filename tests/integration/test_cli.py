@@ -92,3 +92,77 @@ class TestWireCommand:
 
     def test_missing_file(self, capsys):
         assert main(["wire", "/nonexistent/file.jsonl"]) == 2
+
+class TestStatsCommand:
+    def test_demo_stream_table(self, capsys):
+        code = main(["stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Per-operator stage metrics" in out
+        assert "SecurityShield" in out
+        assert "elements in:  5" in out
+        assert "drops:        1" in out
+        assert "analyzer:" in out
+
+    def test_wire_file_input(self, tmp_path, capsys):
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.stream.tuples import DataTuple
+
+        path = tmp_path / "stream.jsonl"
+        elements = [
+            SecurityPunctuation.grant(["ND"], ts=0.0),
+            DataTuple("s", 1, {"v": 1}, 1.0),
+            DataTuple("s", 2, {"v": 2}, 2.0),
+        ]
+        path.write_text("\n".join(encode_element(e) for e in elements))
+        code = main(["stats", str(path), "--roles", "ND"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivered:    2 tuples" in out
+
+    def test_multi_stream_file_rejected(self, tmp_path, capsys):
+        from repro.stream.tuples import DataTuple
+
+        path = tmp_path / "multi.jsonl"
+        elements = [DataTuple("a", 1, {"v": 1}, 1.0),
+                    DataTuple("b", 2, {"v": 2}, 2.0)]
+        path.write_text("\n".join(encode_element(e) for e in elements))
+        assert main(["stats", str(path)]) == 2
+        assert "multiple stream ids" in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_demo_stream_trail(self, capsys):
+        code = main(["audit"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shield.drop" in out
+        assert "recorded:" in out
+
+    def test_explain_tuple(self, capsys):
+        code = main(["audit", "--explain", "120"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tuple=HeartRate:120" in out
+
+    def test_explain_unknown_tuple(self, capsys):
+        assert main(["audit", "--explain", "999"]) == 1
+
+    def test_kind_filter(self, capsys):
+        code = main(["audit", "--kind", "shield.segment"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shield.segment" in out
+        assert "shield.drop {" not in out
+
+    def test_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "audit.jsonl"
+        code = main(["audit", "--jsonl", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert any(r["kind"] == "shield.drop" for r in records)

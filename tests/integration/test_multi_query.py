@@ -2,6 +2,7 @@
 
 from repro.algebra.expressions import ScanExpr, ShieldExpr
 from repro.core.punctuation import SecurityPunctuation
+from repro.engine.api import OptimizeLevel
 from repro.engine.dsms import DSMS
 from repro.engine.plan import PhysicalPlan
 from repro.operators.conditions import Comparison
@@ -114,7 +115,7 @@ class TestWorkloadOptimizedRun:
         for role in ("a", "b", "c"):
             dsms.register_query(f"q_{role}", base, roles={role})
         plain = dsms.run()
-        workload = dsms.run(optimize="workload")
+        workload = dsms.run(optimize=OptimizeLevel.WORKLOAD)
         for name in plain:
             assert ([t.tid for t in plain[name].tuples]
                     == [t.tid for t in workload[name].tuples])

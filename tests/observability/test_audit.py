@@ -1,0 +1,191 @@
+"""Tests for the security audit trail."""
+
+import io
+import json
+
+import pytest
+
+from repro.algebra.expressions import ScanExpr
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.dsms import DSMS
+from repro.observability import AuditLog, Observability
+from repro.operators.join import NestedLoopSAJoin
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+
+SCHEMA = StreamSchema("hr", ("patient", "bpm"), key="patient")
+
+
+def grant(roles, ts):
+    return SecurityPunctuation.grant(roles, ts, provider="p1")
+
+
+def reading(patient, bpm, ts):
+    return DataTuple("hr", patient, {"patient": patient, "bpm": bpm}, ts)
+
+
+def quickstart_elements():
+    return [
+        grant(["D", "ND"], 0.0),
+        reading(1, 72, 1.0),
+        reading(2, 75, 2.0),
+        grant(["D", "C"], 3.0),
+        reading(3, 148, 4.0),
+    ]
+
+
+def observed_dsms():
+    dsms = DSMS(observability=Observability.in_memory())
+    dsms.register_stream(SCHEMA, quickstart_elements())
+    return dsms
+
+
+class TestShieldAudit:
+    def test_denied_tuple_produces_exactly_one_drop_record(self):
+        dsms = observed_dsms()
+        dsms.register_query("nurse", ScanExpr("hr"), roles={"ND"})
+        dsms.run()
+        drops = dsms.audit.events(kind="shield.drop")
+        # Tuple 3 is in the {C, D} segment; the nurse shield denies it
+        # once (the delivery shield never sees it).
+        assert len(drops) == 1
+        event = drops[0]
+        assert event.tid == 3
+        assert event.sid == "hr"
+        assert event.operator  # names the deciding shield
+        assert event.predicate == ("ND",)
+        assert event.sp is not None and "C" in event.sp and "3.0" in event.sp
+        assert event.query == "nurse"
+
+    def test_every_drop_attributable_to_an_sp(self):
+        dsms = observed_dsms()
+        dsms.register_query("nurse", ScanExpr("hr"), roles={"ND"})
+        dsms.register_query("cardio", ScanExpr("hr"), roles={"C"})
+        dsms.run()
+        blocked = sum(s.tuples_blocked
+                      for name in ("nurse", "cardio")
+                      for s in dsms.shields(name))
+        drops = dsms.audit.events(kind="shield.drop")
+        assert blocked == len(drops) > 0
+        for event in drops:
+            assert event.sp is not None
+            explained = dsms.audit.explain(event.tid)
+            assert event in explained
+
+    def test_explain_names_the_deciding_sp(self):
+        dsms = observed_dsms()
+        dsms.register_query("nurse", ScanExpr("hr"), roles={"ND"})
+        dsms.run()
+        events = dsms.audit.explain(3)
+        assert events and all(e.tid == 3 for e in events)
+        assert any("{C, D}" in (e.sp or "") for e in events)
+
+    def test_segment_verdicts_recorded(self):
+        dsms = observed_dsms()
+        dsms.register_query("nurse", ScanExpr("hr"), roles={"ND"})
+        dsms.run()
+        segments = dsms.audit.events(kind="shield.segment")
+        verdicts = [e.detail["verdict"] for e in segments
+                    if e.operator == "SecurityShield"]
+        assert verdicts == ["pass", "drop"]
+
+    def test_disabled_observability_records_nothing(self):
+        dsms = DSMS()
+        dsms.register_stream(SCHEMA, quickstart_elements())
+        dsms.register_query("nurse", ScanExpr("hr"), roles={"ND"})
+        dsms.run()
+        assert dsms.audit is None
+        assert all(s.audit is None for s in dsms.shields("nurse"))
+
+
+class TestMidSessionRebind:
+    def test_role_switch_visible_in_audit(self):
+        dsms = DSMS(observability=Observability.in_memory())
+        dsms.register_stream(SCHEMA, [])
+        dsms.register_query("q", ScanExpr("hr"), roles={"D"})
+        session = dsms.open_session()
+        session.push("hr", grant(["D"], 0.0))
+        out = session.push("hr", reading(1, 70, 1.0))
+        assert [t.tid for t in out["q"] if isinstance(t, DataTuple)] == [1]
+
+        dsms.update_query_roles("q", {"C"})
+        out = session.push("hr", reading(2, 80, 2.0))
+        assert [t for t in out["q"] if isinstance(t, DataTuple)] == []
+        session.close()
+
+        rebinds = dsms.audit.events(kind="shield.rebind")
+        assert len(rebinds) == len(dsms.shields("q"))
+        assert all(e.predicate == ("C",) for e in rebinds)
+        assert all(e.detail["previous"] == ["D"] for e in rebinds)
+
+        drops = dsms.audit.events(kind="shield.drop")
+        assert [e.tid for e in drops] == [2]
+        assert drops[0].predicate == ("C",)
+        # The trail shows the order: rebind happened before the drop.
+        assert rebinds[0].seq < drops[0].seq
+
+
+class TestAnalyzerAudit:
+    def test_server_refinement_recorded(self):
+        dsms = observed_dsms()
+        dsms.add_server_policy(SecurityPunctuation.grant(["D"], ts=0.0))
+        dsms.register_query("doc", ScanExpr("hr"), roles={"D"})
+        dsms.run()
+        refines = dsms.audit.events(kind="analyzer.refine")
+        assert len(refines) == 2  # both provider sps intersected
+        assert refines[0].operator == "SPAnalyzer"
+        assert refines[0].detail["result_roles"] == ["D"]
+        assert refines[0].policy == ("D", "ND")
+
+
+class TestJoinAudit:
+    def test_policy_reject_recorded(self):
+        audit = AuditLog()
+        join = NestedLoopSAJoin("k", "k", 100.0,
+                                left_sid="l", right_sid="r")
+        join.audit = audit
+        join.process(SecurityPunctuation.grant(["A"], 0.0), 0)
+        join.process(DataTuple("l", 1, {"k": 7}, 1.0), 0)
+        join.process(SecurityPunctuation.grant(["B"], 0.0), 1)
+        out = join.process(DataTuple("r", 2, {"k": 7}, 1.0), 1)
+        assert out == []  # join value matched, policies disjoint
+        rejects = audit.events(kind="join.policy_reject")
+        assert len(rejects) == 1
+        assert rejects[0].detail["other_policy"] == ["A"]
+        assert rejects[0].policy == ("B",)
+
+
+class TestAuditLogMechanics:
+    def test_bounded_eviction_keeps_counts_exact(self):
+        log = AuditLog(capacity=5)
+        for i in range(12):
+            log.record("shield.drop", ts=float(i), operator="ss", tid=i)
+        assert len(log) == 5
+        assert log.evicted == 7
+        assert log.counts["shield.drop"] == 12
+        assert [e.tid for e in log] == [7, 8, 9, 10, 11]
+
+    def test_filtering_by_query_and_kind(self):
+        log = AuditLog()
+        log.record("shield.drop", ts=0.0, operator="a", query="q1")
+        log.record("shield.drop", ts=0.0, operator="b", query="q2")
+        log.record("shield.segment", ts=0.0, operator="a", query="q1")
+        assert len(log.events(query="q1")) == 2
+        assert len(log.events(query="q1", kind="shield.drop")) == 1
+        assert log.last("shield.drop").operator == "b"
+
+    def test_jsonl_export_round_trips(self):
+        log = AuditLog()
+        log.record("shield.drop", ts=1.0, operator="ss", query="q",
+                   sid="hr", tid=3, predicate=("ND",),
+                   policy=("C", "D"), sp="<sp>", note="x")
+        buffer = io.StringIO()
+        assert log.to_jsonl(buffer) == 1
+        record = json.loads(buffer.getvalue())
+        assert record["kind"] == "shield.drop"
+        assert record["predicate"] == ["ND"]
+        assert record["detail"] == {"note": "x"}
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AuditLog(capacity=0)

@@ -1,0 +1,116 @@
+"""Tests for the pluggable trace sinks and engine emission sites."""
+
+import io
+import json
+
+import pytest
+
+from repro.algebra.expressions import ScanExpr
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.dsms import DSMS
+from repro.observability import (JsonlTraceSink, NullTraceSink, Observability,
+                                 RingBufferTraceSink)
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+
+SCHEMA = StreamSchema("hr", ("patient", "bpm"), key="patient")
+
+
+def elements():
+    return [
+        SecurityPunctuation.grant(["D"], 0.0, provider="p"),
+        DataTuple("hr", 1, {"patient": 1, "bpm": 70}, 1.0),
+    ]
+
+
+def traced_dsms(sink):
+    dsms = DSMS(observability=Observability(tracer=sink))
+    dsms.register_stream(SCHEMA, elements())
+    dsms.register_query("doc", ScanExpr("hr"), roles={"D"})
+    return dsms
+
+
+class TestEngineSpans:
+    def test_run_emits_executor_and_analyzer_spans(self):
+        sink = RingBufferTraceSink()
+        dsms = traced_dsms(sink)
+        dsms.run()
+        names = [e.name for e in sink.events()]
+        assert names.count("executor.run.start") == 1
+        assert names.count("executor.run.end") == 1
+        assert names.index("executor.run.start") < names.index(
+            "executor.run.end")
+        assert "analyzer.batch" in names
+        batch = sink.events("analyzer.batch")[0]
+        assert batch.attrs["sps_in"] == 1
+        end = sink.events("executor.run.end")[0]
+        assert end.attrs["elements_in"] == 2
+
+    def test_session_lifecycle_spans(self):
+        sink = RingBufferTraceSink()
+        dsms = DSMS(observability=Observability(tracer=sink))
+        dsms.register_stream(SCHEMA, [])
+        dsms.register_query("doc", ScanExpr("hr"), roles={"D"})
+        with dsms.open_session() as session:
+            for element in elements():
+                session.push("hr", element)
+        opens = sink.events("session.open")
+        assert len(opens) == 1
+        assert opens[0].attrs["queries"] == ["doc"]
+        pushes = sink.events("session.push")
+        assert [e.attrs["kind"] for e in pushes] == ["sp", "tuple"]
+        closes = sink.events("session.close")
+        assert len(closes) == 1
+        assert closes[0].attrs["elements_pushed"] == 2
+
+    def test_default_sink_is_silent_null(self):
+        dsms = DSMS()
+        assert isinstance(dsms.observability.tracer, NullTraceSink)
+        assert not dsms.observability.tracer.enabled
+        # span() on a disabled sink must not build or emit anything
+        dsms.observability.tracer.span("anything", x=1)
+
+
+class TestRingBufferTraceSink:
+    def test_bounded(self):
+        sink = RingBufferTraceSink(capacity=3)
+        for i in range(10):
+            sink.span("tick", i=i)
+        assert len(sink) == 3
+        assert [e.attrs["i"] for e in sink.events()] == [7, 8, 9]
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_filter_by_name(self):
+        sink = RingBufferTraceSink()
+        sink.span("a")
+        sink.span("b")
+        sink.span("a")
+        assert len(sink.events("a")) == 2
+        assert len(sink.events()) == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferTraceSink(capacity=0)
+
+
+class TestJsonlTraceSink:
+    def test_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(str(path)) as sink:
+            dsms = traced_dsms(sink)
+            dsms.run()
+            assert sink.emitted > 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.emitted
+        records = [json.loads(line) for line in lines]
+        assert any(r["name"] == "executor.run.end" for r in records)
+        assert all("wall" in r for r in records)
+
+    def test_file_object_target_left_open(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        sink.span("x", n=1)
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["n"] == 1
