@@ -2,8 +2,15 @@
 
 Measures whole-engine element throughput (sources → analyzer → shared
 plan → delivery) as the number of concurrently registered queries
-grows, and compares the three optimization modes (as-registered,
-per-query optimized, workload-optimized).
+grows, comparing the three optimization modes (as-registered,
+per-query optimized, workload-optimized) and the two execution modes
+(element-wise vs segment-batched).
+
+Run standalone to (re)generate ``BENCH_throughput.json`` at the repo
+root — the batched-vs-unbatched comparison quoted in
+``docs/PERFORMANCE.md``::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 """
 
 from __future__ import annotations
@@ -39,18 +46,88 @@ def elements(bench_tuples):
 
 
 @pytest.mark.parametrize("n_queries", QUERY_COUNTS)
+@pytest.mark.parametrize("batching", [False, True],
+                         ids=["unbatched", "batched"])
 @pytest.mark.parametrize("mode", sorted(MODES))
-def test_engine_throughput(benchmark, elements, mode, n_queries):
+def test_engine_throughput(benchmark, elements, mode, batching, n_queries):
     optimize = MODES[mode]
     dsms = build_dsms(n_queries, elements)
 
     def once():
-        return dsms.run(optimize=optimize)
+        return dsms.run(optimize=optimize, batching=batching)
 
     results = benchmark(once)
     total_out = sum(len(r.tuples) for r in results.values())
     benchmark.extra_info["n_queries"] = n_queries
     benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["batching"] = batching
     benchmark.extra_info["tuples_delivered"] = total_out
     benchmark.extra_info["elements_in"] = (
         dsms.last_report.elements_in if dsms.last_report else 0)
+
+
+# -- standalone batched-vs-unbatched measurement -----------------------------
+
+def _measure(n_queries: int, tuples_per_sp: int, n_tuples: int,
+             batching: bool, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` element throughput for one configuration."""
+    import time
+
+    elements = list(punctuated_stream(
+        n_tuples, tuples_per_sp=tuples_per_sp, policy_size=3,
+        accessible_fraction=0.6, seed=61))
+    dsms = build_dsms(n_queries, elements)
+    best = float("inf")
+    elements_in = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        dsms.run(batching=batching)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        elements_in = dsms.last_report.elements_in
+    return {
+        "elements_in": elements_in,
+        "best_seconds": round(best, 6),
+        "elements_per_second": round(elements_in / best, 1),
+    }
+
+
+def main(out_path: str = "BENCH_throughput.json",
+         n_tuples: int = 20_000) -> dict:
+    import json
+
+    report: dict = {
+        "benchmark": "segment_batched_vs_element_wise_throughput",
+        "workload": {
+            "n_tuples": n_tuples,
+            "policy_size": 3,
+            "accessible_fraction": 0.6,
+            "seed": 61,
+            "query": "select(x > 100) + per-query security shield",
+        },
+        "configs": [],
+    }
+    for tuples_per_sp in (1, 10, 100):
+        for n_queries in (1, 4):
+            row = {"tuples_per_sp": tuples_per_sp, "n_queries": n_queries}
+            for batching in (False, True):
+                key = "batched" if batching else "unbatched"
+                row[key] = _measure(n_queries, tuples_per_sp, n_tuples,
+                                    batching)
+            row["speedup"] = round(
+                row["batched"]["elements_per_second"]
+                / row["unbatched"]["elements_per_second"], 2)
+            report["configs"].append(row)
+            print(f"tuples_per_sp={tuples_per_sp:>3} n_queries={n_queries}: "
+                  f"unbatched={row['unbatched']['elements_per_second']:>9,.0f}"
+                  f" batched={row['batched']['elements_per_second']:>9,.0f}"
+                  f" elem/s  speedup={row['speedup']:.2f}x")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

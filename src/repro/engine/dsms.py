@@ -286,18 +286,29 @@ class DSMS:
 
     def run(self, *,
             optimize: "OptimizeLevel | bool | str" = OptimizeLevel.NONE,
-            analyze_sps: bool = True) -> dict[str, QueryResult]:
+            analyze_sps: bool = True,
+            batching: bool = True) -> dict[str, QueryResult]:
         """Execute all queries over all registered sources.
 
         ``optimize`` as in :meth:`build_plan` (an
         :class:`~repro.engine.api.OptimizeLevel`; legacy bool/str
         values accepted with a :class:`DeprecationWarning`).
+
+        ``batching`` selects segment-batched execution (the default):
+        runs of tuples sharing one sp-batch are pushed through the
+        plan as :class:`~repro.stream.batch.TupleBatch` envelopes, so
+        per-segment decisions amortize over whole runs.  Results —
+        and, with observability on, audit streams — are identical in
+        both modes; ``batching=False`` keeps the element-wise
+        reference path (and is what the equivalence tests compare
+        against).
         """
         plan, sinks = self.build_plan(optimize=optimize)
         sources = (self._analyzed_sources() if analyze_sps
                    else self.catalog.sources())
         executor = Executor(plan, sources,
-                            tracer=self.observability.tracer)
+                            tracer=self.observability.tracer,
+                            batching=batching)
         self.last_report = executor.run()
         return {
             name: QueryResult(name, list(sink.elements))

@@ -7,6 +7,29 @@ before the next input element is consumed.  This is the synchronous
 equivalent of a pipelined DSMS scheduler and keeps executions fully
 deterministic (the property the plan-equivalence tests build on).
 
+Two execution modes share that delivery discipline:
+
+* **Element-wise** (``batching=False``): every stream element is
+  dispatched individually — the reference semantics.
+* **Segment-batched** (``batching=True``, the default): runs of
+  consecutive same-stream tuples between sps — pieces of a single
+  s-punctuated segment — are coalesced into
+  :class:`~repro.stream.batch.TupleBatch` envelopes and pushed through
+  operators' :meth:`~repro.operators.base.Operator.process_batch` fast
+  paths.  A Security Shield passes or drops a whole uniform segment in
+  O(1); select/project filter and map runs in single comprehensions.
+  Operators without a native batch path fall back to the per-element
+  loop automatically; operators whose audit events would reorder
+  under batching are unbatched while an audit log is attached; and a
+  batch reaching a fan-out (several downstream consumers) is split
+  back into tuples under audit so events interleave across branches
+  exactly as element-wise — so results and audit streams are
+  identical in both modes.
+
+The push loop is iterative (an explicit work stack, LIFO with reversed
+pushes to preserve depth-first order), so deep plans never hit Python's
+recursion limit and per-element call overhead stays flat.
+
 Observability: the executor emits ``executor.run`` span events to its
 :class:`~repro.observability.TraceSink` (no-op by default) and, at the
 end of a run, snapshots every operator's
@@ -23,7 +46,8 @@ from typing import Iterable
 from repro.engine.plan import PhysicalPlan, PlanNode
 from repro.observability.stats import StageStats, aggregate_stages
 from repro.observability.trace import NullTraceSink, TraceSink
-from repro.stream.element import StreamElement
+from repro.stream.batch import TupleBatch, coalesce_feed
+from repro.stream.element import StreamElement, is_punctuation
 from repro.stream.source import StreamSource, merge_sources
 
 __all__ = ["Executor", "ExecutionReport"]
@@ -33,65 +57,105 @@ class ExecutionReport:
     """Summary of one plan execution, including per-stage metrics."""
 
     __slots__ = ("elements_in", "tuples_in", "sps_in", "wall_time",
-                 "stages")
+                 "_stages", "_stage_index")
 
     def __init__(self):
         self.elements_in = 0
         self.tuples_in = 0
         self.sps_in = 0
         self.wall_time = 0.0
-        #: Per-operator :class:`StageStats` snapshots (plan order).
-        self.stages: list[StageStats] = []
+        self.stages = []
+
+    @property
+    def stages(self) -> list[StageStats]:
+        """Per-operator :class:`StageStats` snapshots (plan order)."""
+        return self._stages
+
+    @stages.setter
+    def stages(self, stages: "Iterable[StageStats]") -> None:
+        self._stages = list(stages)
+        # Name lookup index, built once per snapshot; the first stage
+        # wins on (unusual) duplicate names, matching the semantics of
+        # the linear scan this replaces.
+        index: dict[str, StageStats] = {}
+        for stage in self._stages:
+            index.setdefault(stage.name, stage)
+        self._stage_index = index
 
     def stage(self, name: str) -> StageStats | None:
         """The snapshot of the operator named ``name``, if present."""
-        for stage in self.stages:
-            if stage.name == name:
-                return stage
-        return None
+        return self._stage_index.get(name)
 
     def totals(self) -> dict:
         """Whole-plan aggregates across all stages."""
-        return aggregate_stages(self.stages)
+        return aggregate_stages(self._stages)
 
     @property
     def total_drops(self) -> int:
-        return sum(stage.drops for stage in self.stages)
+        return sum(stage.drops for stage in self._stages)
 
     def __repr__(self) -> str:
         return (f"ExecutionReport(elements={self.elements_in}, "
                 f"wall={self.wall_time:.4f}s, "
-                f"stages={len(self.stages)})")
+                f"stages={len(self._stages)})")
 
 
 class Executor:
     """Drives a physical plan over a set of sources."""
 
     def __init__(self, plan: PhysicalPlan, sources: Iterable[StreamSource],
-                 *, tracer: TraceSink | None = None):
+                 *, tracer: TraceSink | None = None,
+                 batching: bool = True):
         self.plan = plan
         self.sources = list(sources)
         self.tracer = tracer if tracer is not None else NullTraceSink()
+        #: Segment-batched execution (see module docstring).
+        self.batching = batching
+        # With a live audit log, a TupleBatch delivered to a fan-out
+        # (several downstream consumers) must be split back into tuples
+        # so audit events interleave across branches exactly as in
+        # element-wise execution; see _push.
+        self._audit_live = any(
+            getattr(node.operator, "audit", None) is not None
+            for node in self.plan.nodes)
 
     def run(self) -> ExecutionReport:
         """Consume all sources to exhaustion, then flush the plan."""
-        from repro.stream.element import is_punctuation
-
         report = ExecutionReport()
         if self.tracer.enabled:
             self.tracer.span("executor.run.start",
                              sources=len(self.sources),
-                             operators=len(self.plan.nodes))
+                             operators=len(self.plan.nodes),
+                             batching=self.batching)
         start = time.perf_counter()
         entries = self.plan.entries
-        for stream_id, element in merge_sources(self.sources):
-            report.elements_in += 1
-            if is_punctuation(element):
+        feed = merge_sources(self.sources)
+        if self.batching:
+            feed = coalesce_feed(feed)
+        push = self._push
+        for stream_id, element in feed:
+            if type(element) is TupleBatch:
+                size = len(element)
+                report.elements_in += size
+                report.tuples_in += size
+            elif is_punctuation(element):
+                report.elements_in += 1
                 report.sps_in += 1
             else:
+                report.elements_in += 1
                 report.tuples_in += 1
-            for node, port in entries.get(stream_id, ()):
-                self._push(node, element, port)
+            targets = entries.get(stream_id)
+            if targets:
+                if (len(targets) > 1 and self._audit_live
+                        and type(element) is TupleBatch):
+                    # Multi-entry fan-out under audit: deliver per
+                    # tuple so branches interleave as element-wise.
+                    for item in element.tuples:
+                        for node, port in targets:
+                            push(node, item, port)
+                else:
+                    for node, port in targets:
+                        push(node, element, port)
         self._flush()
         report.wall_time = time.perf_counter() - start
         report.stages = self.stage_stats()
@@ -101,7 +165,8 @@ class Executor:
                              tuples_in=report.tuples_in,
                              sps_in=report.sps_in,
                              drops=report.total_drops,
-                             wall_time=report.wall_time)
+                             wall_time=report.wall_time,
+                             batching=self.batching)
         return report
 
     def stage_stats(self) -> list[StageStats]:
@@ -113,14 +178,50 @@ class Executor:
         for node, port in self.plan.entries.get(stream_id, ()):
             self._push(node, element, port)
 
-    def _push(self, node: PlanNode, element: StreamElement,
-              port: int) -> None:
-        outputs = node.operator.process(element, port)
-        if not outputs:
-            return
-        for out in outputs:
-            for child, child_port in node.downstream:
-                self._push(child, out, child_port)
+    def _push(self, node: PlanNode, element, port: int) -> None:
+        """Deliver ``element`` (or a TupleBatch) depth-first from ``node``.
+
+        Iterative equivalent of the recursive push: the work stack is
+        LIFO, so pending work is pushed in reverse to process outputs
+        (and fan-out edges) in plan order — the exact delivery order of
+        the recursive formulation, without per-element Python frames.
+        """
+        stack: list[tuple[PlanNode, object, int]] = [(node, element, port)]
+        append = stack.append
+        pop = stack.pop
+        audit_live = self._audit_live
+        while stack:
+            node, element, port = pop()
+            operator = node.operator
+            if type(element) is TupleBatch:
+                if not operator.accepts_batches():
+                    # Audit-order-sensitive operator with a live audit
+                    # log: unbatch here so each tuple's downstream
+                    # effects complete before the next tuple's audit
+                    # events — byte-identical audit streams.
+                    for item in reversed(element.tuples):
+                        append((node, item, port))
+                    continue
+                outputs = operator.process_batch(element, port)
+            else:
+                outputs = operator.process(element, port)
+            if not outputs:
+                continue
+            downstream = node.downstream
+            if not downstream:
+                continue
+            fanout = len(downstream) > 1
+            for out in reversed(outputs):
+                if fanout and audit_live and type(out) is TupleBatch:
+                    # Batch meeting a fan-out under audit: split so
+                    # each tuple visits every branch before the next
+                    # tuple — the element-wise audit interleaving.
+                    for item in reversed(out.tuples):
+                        for child, child_port in reversed(downstream):
+                            append((child, item, child_port))
+                else:
+                    for child, child_port in reversed(downstream):
+                        append((child, out, child_port))
 
     def _flush(self) -> None:
         """End-of-stream: flush operators in topological order."""

@@ -47,7 +47,10 @@ class StreamingSession:
         self._dsms = dsms
         self._plan, self._sinks = dsms.build_plan(optimize=optimize)
         self._tracer = dsms.observability.tracer
-        self._executor = Executor(self._plan, [], tracer=self._tracer)
+        # Sessions receive elements one push at a time, so there is no
+        # run to coalesce; the executor stays in element-wise mode.
+        self._executor = Executor(self._plan, [], tracer=self._tracer,
+                                  batching=False)
         self._analyze = analyze_sps
         self._callbacks: dict[str, ResultCallback] = {}
         self._consumed: dict[str, int] = {name: 0 for name in self._sinks}

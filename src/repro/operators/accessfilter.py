@@ -24,6 +24,7 @@ from typing import Iterable
 from repro.core.bitmap import AbstractRoleSet, RoleSet
 from repro.core.punctuation import SecurityPunctuation
 from repro.operators.base import PolicyTracker, UnaryOperator
+from repro.stream.batch import TupleBatch
 from repro.stream.element import StreamElement
 from repro.stream.tuples import DataTuple
 
@@ -66,4 +67,24 @@ class AccessFilter(UnaryOperator):
             out.extend(self._held_sps)
             self._held_sps = []
         out.append(element)
+        return out
+
+    def _process_batch(self, batch: TupleBatch,
+                       port: int) -> list[StreamElement]:
+        """Batch fast path: resolve and check the run in one loop."""
+        tracker = self.tracker
+        predicate = self.predicate
+        tuples = batch.tuples
+        self.stats.comparisons += len(tuples)
+        passing = [item for item in tuples
+                   if tracker.policy_for(item).permits_any(predicate)]
+        self.tuples_blocked += len(tuples) - len(passing)
+        if not passing:
+            return []
+        out: list[StreamElement] = []
+        if self._held_sps:
+            out.extend(self._held_sps)
+            self._held_sps = []
+        out.append(passing[0] if len(passing) == 1
+                   else TupleBatch(passing))
         return out

@@ -31,6 +31,7 @@ from repro.core.policy import (EMPTY_POLICY, AccessPolicy, Policy,
                                has_attribute_scope, wildcard_policy_roles)
 from repro.core.punctuation import SecurityPunctuation, Sign
 from repro.errors import PlanError, PolicyError
+from repro.stream.batch import TupleBatch
 from repro.stream.element import StreamElement
 from repro.stream.tuples import DataTuple
 from repro.stream.window import policy_is_uniform
@@ -85,6 +86,15 @@ class Operator:
     #: Number of input ports (1 for unary, 2 for binary operators).
     arity = 1
 
+    #: Whether this operator's batch path keeps the *global* audit
+    #: event order identical to element-wise execution.  Operators
+    #: that record per-tuple audit events interleaved with emitted
+    #: tuples (dup-elim suppressions, group-by merges, join rejects,
+    #: per-tuple shield drops) set this ``False``; while an audit log
+    #: is attached the executor then unbatches their input, so audit
+    #: streams stay byte-identical across execution modes.
+    audit_batch_safe = True
+
     def __init__(self, name: str | None = None):
         self.name = name or type(self).__name__
         self.stats = OperatorStats()
@@ -123,6 +133,61 @@ class Operator:
     def _process(self, element: StreamElement,
                  port: int) -> list[StreamElement]:
         raise NotImplementedError
+
+    # -- batched execution ------------------------------------------------
+    def accepts_batches(self) -> bool:
+        """Whether the executor may hand this operator a TupleBatch.
+
+        ``False`` only while an audit log is attached to an operator
+        whose batch path would reorder the global audit stream
+        (:attr:`audit_batch_safe`); the executor falls back to
+        element-wise delivery for exactly those operators.
+        """
+        return self.audit is None or self.audit_batch_safe
+
+    def process_batch(self, batch: TupleBatch,
+                      port: int = 0) -> list[StreamElement]:
+        """Consume one segment run on ``port``; return emitted elements.
+
+        The batched counterpart of :meth:`process`: stats counters are
+        updated in amortized per-batch increments (one wrapper, one
+        pair of clock reads per run instead of per element).  Emitted
+        elements may include :class:`TupleBatch` envelopes, which count
+        as their length.  Subclasses override :meth:`_process_batch`
+        for a native batch path; the default falls back to the
+        element-wise loop, so plans stay correct by construction.
+        """
+        if not 0 <= port < self.arity:
+            raise PlanError(f"{self.name}: invalid port {port}")
+        stats = self.stats
+        start = time.perf_counter()
+        out = self._process_batch(batch, port)
+        elapsed = time.perf_counter() - start
+        stats.processing_time += elapsed
+        n = len(batch)
+        if n:
+            # Per-element EWMA, updated once with the run's mean cost.
+            stats.ewma_seconds += EWMA_ALPHA * (elapsed / n
+                                                - stats.ewma_seconds)
+        stats.tuples_in += n
+        for item in out:
+            if isinstance(item, TupleBatch):
+                stats.tuples_out += len(item)
+            elif isinstance(item, SecurityPunctuation):
+                stats.sps_out += 1
+            else:
+                stats.tuples_out += 1
+        return out
+
+    def _process_batch(self, batch: TupleBatch,
+                       port: int) -> list[StreamElement]:
+        """Per-element fallback: every operator batches correctly."""
+        out: list[StreamElement] = []
+        extend = out.extend
+        process = self._process
+        for item in batch.tuples:
+            extend(process(item, port))
+        return out
 
     def flush(self) -> list[StreamElement]:
         """Emit anything held back at end-of-stream (default: nothing)."""

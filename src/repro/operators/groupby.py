@@ -38,12 +38,16 @@ _SINGLE_GROUP = object()
 class _Subgroup:
     """One ASG: live values, union policy, incremental aggregate."""
 
-    __slots__ = ("policy", "values", "aggregate")
+    __slots__ = ("policy", "values", "aggregate", "serial")
 
-    def __init__(self, policy: TuplePolicy, agg_name: str):
+    def __init__(self, policy: TuplePolicy, agg_name: str, serial: int):
         self.policy = policy
         self.values: deque[tuple[float, object]] = deque()
         self.aggregate = make_aggregate(agg_name)
+        #: Creation-order id, used in result tids; deterministic across
+        #: runs (unlike ``id()``), so repeated executions of the same
+        #: workload produce identical result tuples.
+        self.serial = serial
 
     def add(self, ts: float, value: object) -> None:
         self.values.append((ts, value))
@@ -73,6 +77,10 @@ class _Subgroup:
 class GroupBy(UnaryOperator):
     """Windowed sp-aware group-by/aggregate."""
 
+    #: ``groupby.merge`` events interleave with emitted results, so
+    #: with an audit log attached the executor delivers element-wise.
+    audit_batch_safe = False
+
     def __init__(self, key: str | None, agg: str, attribute: str, *,
                  window: float, stream_id: str = "*",
                  output_sid: str = "grouped", name: str | None = None):
@@ -89,6 +97,7 @@ class GroupBy(UnaryOperator):
         self.emitter = SPEmitter()
         self._groups: dict[object, list[_Subgroup]] = {}
         self.merges = 0
+        self._next_serial = 0
 
     def _group_key(self, item: DataTuple) -> object:
         if self.key is None:
@@ -122,6 +131,19 @@ class GroupBy(UnaryOperator):
             self.tracker.observe_sp(element)
             return []
         assert isinstance(element, DataTuple)
+        return self._process_tuple(element)
+
+    def _process_batch(self, batch, port: int) -> list[StreamElement]:
+        """Batch path: one tight tuple loop (aggregation stays
+        per-tuple — every arrival updates its subgroup's window)."""
+        out: list[StreamElement] = []
+        extend = out.extend
+        process_tuple = self._process_tuple
+        for item in batch.tuples:
+            extend(process_tuple(item))
+        return out
+
+    def _process_tuple(self, element: DataTuple) -> list[StreamElement]:
         out: list[StreamElement] = []
         self._expire(element.ts, out)
         policy = self.tracker.policy_for(element)
@@ -133,7 +155,8 @@ class GroupBy(UnaryOperator):
                     if sg.policy.roles.intersects(policy.roles)]
         self.stats.comparisons += len(subgroups)
         if not matching:
-            target = _Subgroup(policy, self.agg_name)
+            target = _Subgroup(policy, self.agg_name, self._next_serial)
+            self._next_serial += 1
             subgroups.append(target)
         else:
             target = matching[0]
@@ -149,7 +172,8 @@ class GroupBy(UnaryOperator):
                     query=self.audit_query, sid=element.sid,
                     tid=element.tid,
                     policy=tuple(sorted(policy.roles.names())),
-                    merged=len(matching) - 1, group=group_value,
+                    merged=len(matching) - 1,
+                    group=(group_value if self.key is not None else "*"),
                 )
             target.policy = target.policy.union(policy)
         target.add(element.ts, element.values.get(self.attribute))
@@ -164,7 +188,7 @@ class GroupBy(UnaryOperator):
         values[f"{self.agg_name}({self.attribute})"] = (
             subgroup.aggregate.result())
         tid = (group_value if self.key is not None else "*",
-               id(subgroup))
+               subgroup.serial)
         self.emitter.emit(subgroup.policy, ts, out)
         out.append(DataTuple(self.output_sid, tid, values, ts))
 

@@ -65,6 +65,11 @@ def segment_index_roles(segment: Segment) -> frozenset[str]:
 class SAJoinBase(BinaryOperator):
     """Shared machinery of the nested-loop and index SAJoins."""
 
+    #: ``join.deny`` / ``join.policy_reject`` / ``join.skip`` events
+    #: interleave with emitted results, so with an audit log attached
+    #: the executor delivers element-wise.
+    audit_batch_safe = False
+
     def __init__(self, left_on: str, right_on: str, window: float, *,
                  left_sid: str = "left", right_sid: str = "right",
                  output_sid: str = "joined",
@@ -128,6 +133,25 @@ class SAJoinBase(BinaryOperator):
 
     def _segment_purged(self, segment: Segment, port: int) -> None:
         """Hook for the index variant (SPIndex entry removal)."""
+
+    def _process_batch(self, batch, port: int) -> list[StreamElement]:
+        """Batch path: open the run's segment once, then probe per tuple.
+
+        A batch never contains sps, so the pending sp-batch (if any)
+        is finalized exactly once up front; the per-tuple loop then
+        skips dispatch overhead and probes the opposite window
+        directly.  Window invalidation stays per tuple — expiry depends
+        on each probing tuple's own timestamp.
+        """
+        start = time.perf_counter()
+        self._open_segment(port)
+        self.sp_maintenance_time += time.perf_counter() - start
+        out: list[StreamElement] = []
+        extend = out.extend
+        process_tuple = self._process_tuple
+        for item in batch.tuples:
+            extend(process_tuple(item, port))
+        return out
 
     # -- tuple arrival -----------------------------------------------------
     def _process_tuple(self, item: DataTuple, port: int) -> list[StreamElement]:

@@ -15,6 +15,7 @@ from typing import Iterable
 from repro.core.punctuation import SecurityPunctuation
 from repro.errors import PlanError
 from repro.operators.base import UnaryOperator
+from repro.stream.batch import TupleBatch
 from repro.stream.element import StreamElement
 from repro.stream.tuples import DataTuple
 
@@ -44,6 +45,13 @@ class Project(UnaryOperator):
             return []
         assert isinstance(element, DataTuple)
         return [element.project(self.attributes)]
+
+    def _process_batch(self, batch: TupleBatch,
+                       port: int) -> list[StreamElement]:
+        """Batch fast path: project the whole run in one comprehension."""
+        attributes = self.attributes
+        return [TupleBatch([item.project(attributes)
+                            for item in batch.tuples])]
 
     def _sp_survives(self, sp: SecurityPunctuation) -> bool:
         """False iff the sp describes only projected-away attributes."""

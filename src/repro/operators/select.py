@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.core.punctuation import SecurityPunctuation
 from repro.operators.base import UnaryOperator
 from repro.operators.conditions import Condition, FuncCondition
+from repro.stream.batch import TupleBatch
 from repro.stream.element import StreamElement
 from repro.stream.tuples import DataTuple
 
@@ -60,6 +61,25 @@ class Select(UnaryOperator):
             out.extend(self._held_sps)
             self._held_sps = []
         out.append(item)
+        return out
+
+    def _process_batch(self, batch: TupleBatch,
+                       port: int) -> list[StreamElement]:
+        """Batch fast path: filter the whole run in one comprehension."""
+        self._after_tuple = True
+        tuples = batch.tuples
+        condition = self.condition
+        self.stats.comparisons += len(tuples)
+        passing = [item for item in tuples if condition(item)]
+        self.tuples_dropped += len(tuples) - len(passing)
+        if not passing:
+            return []
+        out: list[StreamElement] = []
+        if self._held_sps:
+            out.extend(self._held_sps)
+            self._held_sps = []
+        out.append(passing[0] if len(passing) == 1
+                   else TupleBatch(passing))
         return out
 
     def flush(self) -> list[StreamElement]:

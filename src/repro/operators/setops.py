@@ -56,6 +56,19 @@ class Union(BinaryOperator):
         out.append(element)
         return out
 
+    def _process_batch(self, batch, port: int) -> list[StreamElement]:
+        """Batch path: resolve and re-punctuate the run in one loop."""
+        tracker = self.trackers[port]
+        emitter = self.emitter
+        out: list[StreamElement] = []
+        for item in batch.tuples:
+            policy = tracker.policy_for(item)
+            if policy.is_empty():
+                continue
+            emitter.emit(policy, item.ts, out)
+            out.append(item)
+        return out
+
 
 class Intersect(BinaryOperator):
     """Windowed value intersection under policy intersection."""

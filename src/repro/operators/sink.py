@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.core.punctuation import SecurityPunctuation
 from repro.operators.base import UnaryOperator
+from repro.stream.batch import TupleBatch
 from repro.stream.element import StreamElement
 from repro.stream.tuples import DataTuple
 
@@ -20,6 +21,13 @@ class CollectingSink(UnaryOperator):
     def _process(self, element: StreamElement,
                  port: int) -> list[StreamElement]:
         self.elements.append(element)
+        return []
+
+    def _process_batch(self, batch: TupleBatch,
+                       port: int) -> list[StreamElement]:
+        # Batches are unwrapped at the sink: collected results are
+        # identical with and without batched execution.
+        self.elements.extend(batch.tuples)
         return []
 
     def tuples(self) -> list[DataTuple]:
@@ -55,4 +63,13 @@ class CountingSink(UnaryOperator):
             if self.first_ts is None:
                 self.first_ts = element.ts
             self.last_ts = element.ts
+        return []
+
+    def _process_batch(self, batch: TupleBatch,
+                       port: int) -> list[StreamElement]:
+        tuples = batch.tuples
+        self.tuple_count += len(tuples)
+        if self.first_ts is None:
+            self.first_ts = tuples[0].ts
+        self.last_ts = tuples[-1].ts
         return []

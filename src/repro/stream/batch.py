@@ -1,0 +1,98 @@
+"""Segment runs: batched stream elements for vectorized execution.
+
+The paper's central efficiency argument (Figure 8a, Section V.A) is
+that an sp-batch's pass/drop decision amortizes over every tuple of
+its s-punctuated segment.  :class:`TupleBatch` makes that amortization
+explicit in the execution layer: it is a *run* of consecutive data
+tuples, all from the same source feed position, with **no intervening
+security punctuation** — i.e. a (piece of a) single s-punctuated
+segment.  Operators with a native batch path process the run with one
+decision / one tight loop instead of one full dispatch per tuple.
+
+A :class:`TupleBatch` is purely an execution-layer envelope:
+
+* it never crosses an sp, so every tuple inside falls under the same
+  policy state of any sp-tracking operator;
+* it is immutable by convention — operators must never mutate
+  ``tuples`` in place (batches may be shared across fan-out edges);
+* it is transparent to results — sinks and the element-wise fallback
+  unwrap it, so query outputs are identical with and without batching.
+
+:func:`coalesce_feed` lifts a merged ``(stream_id, element)`` feed
+into batched form by grouping maximal runs of same-stream tuples.
+The grouping never reorders the feed, which is what makes batched and
+element-wise execution produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.tuples import DataTuple
+
+__all__ = ["TupleBatch", "coalesce_feed", "DEFAULT_MAX_BATCH"]
+
+#: Upper bound on tuples per batch: keeps per-batch latency and peak
+#: list sizes bounded on streams with very long segments.
+DEFAULT_MAX_BATCH = 4096
+
+
+class TupleBatch:
+    """A run of data tuples governed by one sp-batch (segment run)."""
+
+    __slots__ = ("tuples",)
+
+    def __init__(self, tuples: list[DataTuple]):
+        self.tuples = tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[DataTuple]:
+        return iter(self.tuples)
+
+    @property
+    def ts(self) -> float:
+        """Timestamp of the last tuple (the run's progress mark)."""
+        return self.tuples[-1].ts
+
+    def __repr__(self) -> str:
+        tuples = self.tuples
+        if not tuples:
+            return "TupleBatch(empty)"
+        return (f"TupleBatch(n={len(tuples)}, "
+                f"ts={tuples[0].ts}..{tuples[-1].ts})")
+
+
+def coalesce_feed(
+    feed: Iterable[tuple[str, "DataTuple | SecurityPunctuation"]],
+    *, max_batch: int = DEFAULT_MAX_BATCH,
+) -> Iterator[tuple[str, object]]:
+    """Group maximal same-stream tuple runs of ``feed`` into batches.
+
+    ``feed`` yields ``(stream_id, element)`` pairs in execution order
+    (the contract of :func:`~repro.stream.source.merge_sources`).  A
+    run breaks at every security punctuation, at every stream switch,
+    and at ``max_batch`` tuples.  Single-tuple runs are passed through
+    unwrapped — batching them would only add envelope overhead.
+    """
+    run: list[DataTuple] = []
+    run_sid: str | None = None
+    for stream_id, element in feed:
+        if isinstance(element, SecurityPunctuation):
+            if run:
+                yield (run_sid, run[0] if len(run) == 1
+                       else TupleBatch(run))
+                run = []
+            yield stream_id, element
+            continue
+        if run and (stream_id != run_sid or len(run) >= max_batch):
+            yield (run_sid, run[0] if len(run) == 1
+                   else TupleBatch(run))
+            run = []
+        if not run:
+            run_sid = stream_id
+        run.append(element)
+    if run:
+        yield (run_sid, run[0] if len(run) == 1 else TupleBatch(run))

@@ -73,6 +73,14 @@ def merge_sources(
     sources are broken by source registration order, making executions
     deterministic and therefore testable.
     """
+    sources = list(sources)
+    if len(sources) == 1:
+        # Single-source fast path: nothing to merge, skip the heap.
+        (source,) = sources
+        stream_id = source.stream_id
+        for element in source:
+            yield stream_id, element
+        return
     iterators: list[tuple[int, str, Iterator[StreamElement]]] = [
         (index, source.stream_id, iter(source))
         for index, source in enumerate(sources)

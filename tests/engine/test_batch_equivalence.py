@@ -1,0 +1,274 @@
+"""Batched vs element-wise execution equivalence (segment batching).
+
+Property-style suite backing the segment-batched execution engine:
+for every plan shape and stream shape exercised here, running the same
+workload with ``batching=True`` and ``batching=False`` must produce
+
+* identical ordered result elements per query,
+* identical drop counts (whole-plan and per stage),
+* identical audit event sequences (with observability on).
+
+Stream shapes cover uniform segments, non-uniform (tuple-scoped)
+segments, held-sp release, empty segments, denial-by-default prefixes
+and segment lengths from 1 tuple per sp upward.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.algebra.expressions import ScanExpr
+from repro.core.patterns import one_of
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.dsms import DSMS
+from repro.observability import Observability
+from repro.operators.conditions import Comparison
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+from repro.workloads.synthetic import SYNTH_SCHEMA, punctuated_stream
+
+SCHEMA = StreamSchema("s1", ("v",))
+
+
+def run_both(make_dsms, *, observability: bool = True):
+    """Run a freshly built DSMS in both modes; return both outcomes."""
+    outcomes = {}
+    for batching in (False, True):
+        dsms = make_dsms(
+            Observability.in_memory() if observability
+            else Observability.disabled())
+        results = dsms.run(batching=batching)
+        outcomes[batching] = (results, dsms)
+    return outcomes[False], outcomes[True]
+
+
+def assert_equivalent(plain, batched):
+    """The full equivalence contract between the two execution modes."""
+    plain_results, plain_dsms = plain
+    batched_results, batched_dsms = batched
+    assert plain_results.keys() == batched_results.keys()
+    for name in plain_results:
+        assert (plain_results[name].elements
+                == batched_results[name].elements), name
+    plain_report = plain_dsms.last_report
+    batched_report = batched_dsms.last_report
+    assert plain_report.elements_in == batched_report.elements_in
+    assert plain_report.tuples_in == batched_report.tuples_in
+    assert plain_report.sps_in == batched_report.sps_in
+    assert plain_report.total_drops == batched_report.total_drops
+    for p_stage, b_stage in zip(plain_report.stages,
+                                batched_report.stages):
+        assert p_stage.name == b_stage.name
+        for counter in ("tuples_in", "tuples_out", "sps_in", "sps_out",
+                        "drops", "comparisons"):
+            assert getattr(p_stage, counter) == getattr(b_stage, counter), \
+                f"{p_stage.name}.{counter}"
+    if plain_dsms.audit is not None:
+        plain_events = [asdict(e) for e in plain_dsms.audit]
+        batched_events = [asdict(e) for e in batched_dsms.audit]
+        assert plain_events == batched_events
+
+
+# -- stream shapes ---------------------------------------------------------
+
+def uniform_stream(seed: int, tuples_per_sp: int, n_tuples: int = 120):
+    return list(punctuated_stream(
+        n_tuples, tuples_per_sp=tuples_per_sp, policy_size=3,
+        accessible_fraction=0.5, seed=seed))
+
+
+def tuple_scoped_stream(n_segments: int = 12, seg_len: int = 5):
+    """Non-uniform segments: per-tuple-id policies within a segment."""
+    elements = []
+    ts = 0.0
+    tid = 0
+    for _ in range(n_segments):
+        ts += 1.0
+        ids = list(range(tid, tid + seg_len))
+        evens = [i for i in ids if i % 2 == 0]
+        odds = [i for i in ids if i % 2 == 1]
+        if evens:
+            elements.append(SecurityPunctuation.grant(
+                ["D"], ts, tuple_id=one_of(evens)))
+        if odds:
+            elements.append(SecurityPunctuation.grant(
+                ["N"], ts, tuple_id=one_of(odds)))
+        for i in ids:
+            ts += 1.0
+            elements.append(DataTuple("s1", i, {"v": float(i)}, ts))
+            tid += 1
+    return elements
+
+
+def held_sp_stream():
+    """Segments whose first tuple(s) are dropped: sps release late."""
+    elements = []
+    ts = 0.0
+    tid = 0
+    for segment in range(8):
+        ts += 1.0
+        # Odd tids only: the segment's first tuple never passes the
+        # shield, so its sps are held until the first odd tid.
+        elements.append(SecurityPunctuation.grant(
+            ["D"], ts, tuple_id=one_of([tid + 1, tid + 3])))
+        for _ in range(4):
+            ts += 1.0
+            elements.append(DataTuple("s1", tid, {"v": float(tid)}, ts))
+            tid += 1
+    return elements
+
+
+def empty_segment_stream():
+    """Consecutive sp-batches with no tuples, plus a no-sp prefix."""
+    return [
+        # Denial-by-default prefix: tuples before any sp.
+        DataTuple("s1", 0, {"v": 0.0}, 1.0),
+        DataTuple("s1", 1, {"v": 1.0}, 2.0),
+        # Empty segment: immediately overridden policy.
+        SecurityPunctuation.grant(["N"], 3.0),
+        SecurityPunctuation.grant(["D"], 4.0),
+        DataTuple("s1", 2, {"v": 2.0}, 5.0),
+        DataTuple("s1", 3, {"v": 3.0}, 6.0),
+        # Trailing sp-batch with no tuples at all.
+        SecurityPunctuation.grant(["D"], 7.0),
+    ]
+
+
+# -- plan shapes ------------------------------------------------------------
+
+@pytest.mark.parametrize("tuples_per_sp", [1, 3, 10])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_select_shield_uniform(seed, tuples_per_sp):
+    elements = uniform_stream(seed, tuples_per_sp)
+
+    def make(observability):
+        dsms = DSMS(observability=observability)
+        dsms.register_stream(SYNTH_SCHEMA, elements)
+        dsms.register_query(
+            "q", ScanExpr("synthetic").select(Comparison("x", ">", 400.0)),
+            roles={"q_role"})
+        return dsms
+
+    assert_equivalent(*run_both(make))
+    assert_equivalent(*run_both(make, observability=False))
+
+
+@pytest.mark.parametrize("stream_builder",
+                         [tuple_scoped_stream, held_sp_stream,
+                          empty_segment_stream])
+def test_shield_non_uniform_and_edges(stream_builder):
+    elements = stream_builder()
+
+    def make(observability):
+        dsms = DSMS(observability=observability)
+        dsms.register_stream(SCHEMA, elements)
+        dsms.register_query("q", ScanExpr("s1"), roles={"D"})
+        return dsms
+
+    assert_equivalent(*run_both(make))
+    assert_equivalent(*run_both(make, observability=False))
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_project_dupelim_plan(seed):
+    elements = uniform_stream(seed, 5, n_tuples=100)
+
+    def make(observability):
+        dsms = DSMS(observability=observability)
+        dsms.register_stream(SYNTH_SCHEMA, elements)
+        expr = (ScanExpr("synthetic")
+                .project(["object_id", "x"])
+                .distinct(50.0, ["object_id"]))
+        dsms.register_query("q", expr, roles={"q_role"})
+        return dsms
+
+    assert_equivalent(*run_both(make))
+    assert_equivalent(*run_both(make, observability=False))
+
+
+def test_dupelim_suppression_equivalence():
+    """Duplicate values across overlapping policies, both modes."""
+    elements = []
+    ts = 0.0
+    for segment in range(10):
+        ts += 1.0
+        roles = ["D"] if segment % 3 else ["D", "N"]
+        elements.append(SecurityPunctuation.grant(roles, ts))
+        for k in range(4):
+            ts += 1.0
+            elements.append(DataTuple(
+                "s1", segment * 4 + k, {"v": float(k % 2)}, ts))
+
+    def make(observability):
+        dsms = DSMS(observability=observability)
+        dsms.register_stream(SCHEMA, elements)
+        dsms.register_query(
+            "q", ScanExpr("s1").distinct(100.0, ["v"]), roles={"D"})
+        return dsms
+
+    assert_equivalent(*run_both(make))
+    assert_equivalent(*run_both(make, observability=False))
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_groupby_plan(seed):
+    elements = uniform_stream(seed, 4, n_tuples=80)
+
+    def make(observability):
+        dsms = DSMS(observability=observability)
+        dsms.register_stream(SYNTH_SCHEMA, elements)
+        expr = ScanExpr("synthetic").group_by(
+            None, "sum", "x", window=40.0)
+        dsms.register_query("q", expr, roles={"q_role"})
+        return dsms
+
+    assert_equivalent(*run_both(make))
+    assert_equivalent(*run_both(make, observability=False))
+
+
+@pytest.mark.parametrize("variant", ["nl", "index"])
+def test_join_plan(variant):
+    left_schema = StreamSchema("left", ("k", "a"))
+    right_schema = StreamSchema("right", ("k", "b"))
+    left, right = [], []
+    ts = 0.0
+    for segment in range(6):
+        ts += 1.0
+        left.append(SecurityPunctuation.grant(["D"], ts, provider="l"))
+        right.append(SecurityPunctuation.grant(
+            ["D"] if segment % 2 else ["N"], ts + 0.25, provider="r"))
+        for k in range(3):
+            ts += 1.0
+            tid = segment * 3 + k
+            left.append(DataTuple("left", tid, {"k": k, "a": tid}, ts))
+            right.append(DataTuple(
+                "right", tid, {"k": k, "b": tid}, ts + 0.25))
+
+    def make(observability):
+        dsms = DSMS(observability=observability)
+        dsms.register_stream(left_schema, left)
+        dsms.register_stream(right_schema, right)
+        expr = ScanExpr("left").join(ScanExpr("right"), "k", "k", 30.0,
+                                     variant=variant)
+        dsms.register_query("q", expr, roles={"D"})
+        return dsms
+
+    assert_equivalent(*run_both(make))
+    assert_equivalent(*run_both(make, observability=False))
+
+
+def test_multi_query_shared_plan():
+    """Fan-out: one shared subplan feeding several query shields."""
+    elements = uniform_stream(5, 10, n_tuples=150)
+
+    def make(observability):
+        dsms = DSMS(observability=observability)
+        dsms.register_stream(SYNTH_SCHEMA, elements)
+        base = ScanExpr("synthetic").select(Comparison("x", ">", 200.0))
+        for index in range(3):
+            dsms.register_query(f"q{index}", base,
+                                roles={f"r{index + 1}", "q_role"})
+        return dsms
+
+    assert_equivalent(*run_both(make))
+    assert_equivalent(*run_both(make, observability=False))

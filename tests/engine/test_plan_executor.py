@@ -143,3 +143,66 @@ class TestExecutor:
         executor.feed("s1", grant(["D"], 0.0))
         executor.feed("s1", tup(1, 5, 1.0))
         assert len(sink.operator.tuples()) == 1
+
+
+class TestIterativePush:
+    def test_deep_plan_exceeds_recursion_limit(self):
+        """A >1000-operator chain must run without recursion errors."""
+        import sys
+        depth = sys.getrecursionlimit() + 100
+        for batching in (False, True):
+            plan = PhysicalPlan()
+            nodes = [plan.add(Select(Comparison("v", ">", -1)))
+                     for _ in range(depth)]
+            sink = plan.add(CollectingSink())
+            for upstream, downstream in zip(nodes, nodes[1:]):
+                plan.connect(upstream, downstream)
+            plan.connect(nodes[-1], sink)
+            plan.connect_source("s1", nodes[0])
+            source = ListSource(SCHEMA, [tup(i, 5, float(i + 1))
+                                         for i in range(8)])
+            Executor(plan, [source], batching=batching).run()
+            assert [t.tid for t in sink.operator.tuples()] == list(range(8))
+
+    def test_batched_run_matches_element_wise_counters(self):
+        def build():
+            plan = PhysicalPlan()
+            sink = plan.compile_expr(
+                ScanExpr("s1").shield({"D"}), CollectingSink())
+            source = ListSource(SCHEMA, [
+                grant(["D"], 0.0), tup(1, 5, 1.0), tup(2, 6, 2.0),
+                grant(["N"], 3.0), tup(3, 7, 4.0),
+            ])
+            return plan, sink, source
+
+        reports, outputs = [], []
+        for batching in (False, True):
+            plan, sink, source = build()
+            reports.append(Executor(plan, [source],
+                                    batching=batching).run())
+            outputs.append([t.tid for t in sink.operator.tuples()])
+        assert outputs[0] == outputs[1] == [1, 2]
+        assert reports[0].elements_in == reports[1].elements_in == 5
+        assert reports[0].tuples_in == reports[1].tuples_in == 3
+        assert reports[0].sps_in == reports[1].sps_in == 2
+        assert reports[0].total_drops == reports[1].total_drops == 1
+
+
+class TestExecutionReportStageLookup:
+    def test_stage_lookup_by_name(self):
+        plan = PhysicalPlan()
+        plan.compile_expr(ScanExpr("s1").shield({"D"}), CollectingSink())
+        source = ListSource(SCHEMA, [grant(["D"], 0.0), tup(1, 5, 1.0)])
+        report = Executor(plan, [source]).run()
+        shield_stage = report.stage("SecurityShield")
+        assert shield_stage is not None
+        assert shield_stage.tuples_in == 1
+        assert report.stage("NoSuchOperator") is None
+
+    def test_stage_index_rebuilt_on_assignment(self):
+        plan = PhysicalPlan()
+        plan.compile_expr(ScanExpr("s1").shield({"D"}), CollectingSink())
+        source = ListSource(SCHEMA, [grant(["D"], 0.0), tup(1, 5, 1.0)])
+        report = Executor(plan, [source]).run()
+        report.stages = []
+        assert report.stage("SecurityShield") is None

@@ -1,0 +1,83 @@
+"""Unit tests for TupleBatch and coalesce_feed."""
+
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.batch import TupleBatch, coalesce_feed
+from repro.stream.tuples import DataTuple
+
+
+def dt(sid, tid, ts):
+    return DataTuple(sid, tid, {"v": float(tid)}, ts)
+
+
+def sp(ts):
+    return SecurityPunctuation.grant(["D"], ts)
+
+
+def unroll(feed):
+    """Flatten a coalesced feed back to (stream_id, element) pairs."""
+    out = []
+    for stream_id, element in feed:
+        if isinstance(element, TupleBatch):
+            out.extend((stream_id, item) for item in element)
+        else:
+            out.append((stream_id, element))
+    return out
+
+
+class TestTupleBatch:
+    def test_len_iter_ts(self):
+        tuples = [dt("s", 0, 1.0), dt("s", 1, 2.0), dt("s", 2, 3.0)]
+        batch = TupleBatch(tuples)
+        assert len(batch) == 3
+        assert list(batch) == tuples
+        assert batch.ts == 3.0
+
+    def test_repr(self):
+        batch = TupleBatch([dt("s", 0, 1.0)])
+        assert "1" in repr(batch)
+
+
+class TestCoalesceFeed:
+    def test_runs_between_sps_are_batched(self):
+        feed = [("s", sp(0.5))] + [("s", dt("s", i, float(i + 1)))
+                                   for i in range(5)] + [("s", sp(6.5))]
+        out = list(coalesce_feed(iter(feed)))
+        # sp, one batch of 5, sp
+        assert len(out) == 3
+        assert isinstance(out[1][1], TupleBatch)
+        assert len(out[1][1]) == 5
+
+    def test_transparent_unroll(self):
+        feed = ([("s", sp(0.5))]
+                + [("s", dt("s", i, float(i + 1))) for i in range(4)]
+                + [("s", sp(5.5)), ("s", sp(5.6))]
+                + [("s", dt("s", 9, 6.0))])
+        assert unroll(coalesce_feed(iter(feed))) == feed
+
+    def test_single_tuple_run_not_wrapped(self):
+        feed = [("s", sp(0.5)), ("s", dt("s", 0, 1.0)), ("s", sp(1.5))]
+        out = list(coalesce_feed(iter(feed)))
+        assert isinstance(out[1][1], DataTuple)
+
+    def test_stream_switch_breaks_run(self):
+        feed = [("a", dt("a", 0, 1.0)), ("a", dt("a", 1, 2.0)),
+                ("b", dt("b", 2, 3.0)),
+                ("a", dt("a", 3, 4.0)), ("a", dt("a", 4, 5.0))]
+        out = list(coalesce_feed(iter(feed)))
+        kinds = [(sid, type(el).__name__) for sid, el in out]
+        assert kinds == [("a", "TupleBatch"), ("b", "DataTuple"),
+                         ("a", "TupleBatch")]
+        assert unroll(coalesce_feed(iter(feed))) == feed
+
+    def test_max_batch_splits_long_runs(self):
+        feed = [("s", dt("s", i, float(i))) for i in range(10)]
+        out = list(coalesce_feed(iter(feed), max_batch=4))
+        sizes = [len(el) if isinstance(el, TupleBatch) else 1
+                 for _, el in out]
+        assert sizes == [4, 4, 2]
+        assert unroll(coalesce_feed(iter(feed), max_batch=4)) == feed
+
+    def test_empty_and_sp_only_feeds(self):
+        assert list(coalesce_feed(iter([]))) == []
+        feed = [("s", sp(1.0)), ("s", sp(2.0))]
+        assert list(coalesce_feed(iter(feed))) == feed
