@@ -3,12 +3,14 @@
 Measures whole-engine element throughput (sources → analyzer → shared
 plan → delivery) as the number of concurrently registered queries
 grows, comparing the three optimization modes (as-registered,
-per-query optimized, workload-optimized) and the two execution modes
-(element-wise vs segment-batched).
+per-query optimized, workload-optimized), the two execution modes
+(element-wise vs segment-batched) and the observability tiers
+(off / metrics registry on / full monitor with audit + tracing +
+dashboard rendering).
 
 Run standalone to (re)generate ``BENCH_throughput.json`` at the repo
-root — the batched-vs-unbatched comparison quoted in
-``docs/PERFORMANCE.md``::
+root — the batched-vs-unbatched and observability-overhead numbers
+quoted in ``docs/PERFORMANCE.md``::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 """
@@ -20,6 +22,7 @@ import pytest
 from repro.algebra.expressions import ScanExpr
 from repro.engine.api import OptimizeLevel
 from repro.engine.dsms import DSMS
+from repro.observability import Observability
 from repro.operators.conditions import Comparison
 from repro.workloads.synthetic import (SYNTH_SCHEMA, punctuated_stream,
                                        role_names)
@@ -28,9 +31,23 @@ QUERY_COUNTS = (1, 4, 16)
 MODES = {"plain": OptimizeLevel.NONE, "optimized": OptimizeLevel.PER_QUERY,
          "workload": OptimizeLevel.WORKLOAD}
 
+#: The observability axis: nothing, metrics registry only, everything
+#: (audit log + tracing + metrics + live dashboard frames).
+OBSERVABILITY_TIERS = ("off", "registry", "monitor")
 
-def build_dsms(n_queries: int, elements) -> DSMS:
-    dsms = DSMS()
+
+def _make_observability(tier: str) -> Observability:
+    if tier == "off":
+        return Observability.disabled()
+    if tier == "registry":
+        return Observability.with_metrics()
+    return Observability.in_memory()
+
+
+def build_dsms(n_queries: int, elements, *,
+               observability: Observability | None = None) -> DSMS:
+    dsms = (DSMS() if observability is None
+            else DSMS(observability=observability))
     dsms.register_stream(SYNTH_SCHEMA, elements)
     base = ScanExpr("synthetic").select(Comparison("x", ">", 100.0))
     for index, role in enumerate(role_names(n_queries, prefix="qr")):
@@ -66,22 +83,61 @@ def test_engine_throughput(benchmark, elements, mode, batching, n_queries):
         dsms.last_report.elements_in if dsms.last_report else 0)
 
 
+@pytest.mark.parametrize("tier", OBSERVABILITY_TIERS)
+def test_observability_overhead(benchmark, elements, tier):
+    """Throughput cost of each observability tier (batched, 4 queries)."""
+    dsms = build_dsms(4, elements, observability=_make_observability(tier))
+
+    def once():
+        results = dsms.run(batching=True)
+        if tier == "monitor":
+            _render_monitor_frame(dsms)
+        return results
+
+    results = benchmark(once)
+    benchmark.extra_info["tier"] = tier
+    benchmark.extra_info["tuples_delivered"] = sum(
+        len(r.tuples) for r in results.values())
+
+
+def _render_monitor_frame(dsms: DSMS) -> None:
+    """One dashboard frame into a throwaway buffer (monitor tier)."""
+    from repro.observability.health import HealthMonitor
+    from repro.observability.monitor import MonitorView, run_monitor
+
+    instruments = dsms.observability.instruments
+    assert instruments is not None
+    report = dsms.last_report
+    view = MonitorView(
+        instruments,
+        stages=(lambda: report.stages) if report else None,
+        health=HealthMonitor(instruments,
+                             tracer=dsms.observability.tracer))
+    frames: list[str] = []
+    run_monitor(view, frames=1, interval=0, clear=False,
+                write=frames.append)
+
+
 # -- standalone batched-vs-unbatched measurement -----------------------------
 
 def _measure(n_queries: int, tuples_per_sp: int, n_tuples: int,
-             batching: bool, repeats: int = 3) -> dict:
+             batching: bool, repeats: int = 3, *,
+             tier: str = "off") -> dict:
     """Best-of-``repeats`` element throughput for one configuration."""
     import time
 
     elements = list(punctuated_stream(
         n_tuples, tuples_per_sp=tuples_per_sp, policy_size=3,
         accessible_fraction=0.6, seed=61))
-    dsms = build_dsms(n_queries, elements)
+    dsms = build_dsms(n_queries, elements,
+                      observability=_make_observability(tier))
     best = float("inf")
     elements_in = 0
     for _ in range(repeats):
         start = time.perf_counter()
         dsms.run(batching=batching)
+        if tier == "monitor":
+            _render_monitor_frame(dsms)
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         elements_in = dsms.last_report.elements_in
@@ -122,6 +178,25 @@ def main(out_path: str = "BENCH_throughput.json",
                   f"unbatched={row['unbatched']['elements_per_second']:>9,.0f}"
                   f" batched={row['batched']['elements_per_second']:>9,.0f}"
                   f" elem/s  speedup={row['speedup']:.2f}x")
+
+    # -- observability overhead axis (batched, 4 queries, 1 sp / 10 tuples)
+    observability: dict = {
+        "workload": {"tuples_per_sp": 10, "n_queries": 4,
+                     "batching": True},
+        "tiers": {},
+    }
+    for tier in OBSERVABILITY_TIERS:
+        observability["tiers"][tier] = _measure(
+            4, 10, n_tuples, batching=True, tier=tier)
+    base_eps = observability["tiers"]["off"]["elements_per_second"]
+    for tier in OBSERVABILITY_TIERS:
+        eps = observability["tiers"][tier]["elements_per_second"]
+        overhead = (base_eps - eps) / base_eps if base_eps else 0.0
+        observability["tiers"][tier]["overhead_vs_off"] = round(
+            overhead, 4)
+        print(f"observability={tier:>8}: {eps:>9,.0f} elem/s  "
+              f"overhead={overhead:+.1%}")
+    report["observability"] = observability
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

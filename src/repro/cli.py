@@ -23,6 +23,14 @@ Commands
 ``audit [file]``
     Same execution with the audit trail enabled; print (or export) the
     security decisions, or explain the fate of one tuple id.
+``metrics [file] [--format prom|json] [--serve [--port N]]``
+    Same execution with the metrics registry enabled; emit the
+    collected metrics as Prometheus text exposition or JSON, or keep
+    serving them on an HTTP scrape endpoint.
+``monitor [file] [--frames N] [--interval S] [--no-clear]``
+    Replay the stream through a live session while rendering a
+    top-style dashboard: operator throughput, latency percentiles,
+    shield verdicts, policy-propagation lag and health alerts.
 """
 
 from __future__ import annotations
@@ -255,6 +263,94 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observability.export import (render_json,
+                                            render_prometheus,
+                                            serve_metrics)
+
+    dsms, _results = _observed_run(args)
+    registry = dsms.observability.metrics
+    assert registry is not None
+    if args.format == "json":
+        print(render_json(registry))
+    else:
+        sys.stdout.write(render_prometheus(registry))
+    if args.serve:
+        server = serve_metrics(registry, host=args.host, port=args.port)
+        print(f"serving metrics at {server.url} (Ctrl-C to stop)",
+              file=sys.stderr)
+        try:
+            import threading
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.algebra.expressions import ScanExpr
+    from repro.engine.api import OptimizeLevel
+    from repro.engine.dsms import DSMS
+    from repro.observability import Observability
+    from repro.observability.health import HealthMonitor
+    from repro.observability.monitor import MonitorView, run_monitor
+    from repro.stream.schema import StreamSchema
+
+    if args.path:
+        stream_id, attributes, elements = _load_wire_elements(args.path)
+    else:
+        stream_id, attributes, elements = _demo_elements()
+    roles = frozenset(r.strip() for r in args.roles.split(",")
+                      if r.strip())
+    if not roles:
+        raise ReproError("provide at least one role via --roles")
+    if args.query:
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.cql.translator import compile_statement
+
+        expr = compile_statement(args.query)
+        if isinstance(expr, SecurityPunctuation):
+            raise ReproError(
+                "--query takes a CQL SELECT, not an INSERT SP")
+    else:
+        expr = ScanExpr(stream_id)
+
+    dsms = DSMS(observability=Observability.in_memory())
+    dsms.register_stream(StreamSchema(stream_id, attributes), [])
+    dsms.register_query("q", expr, roles=roles)
+    session = dsms.open_session(optimize=OptimizeLevel(args.optimize))
+    instruments = dsms.observability.instruments
+    assert instruments is not None
+    health = HealthMonitor(instruments,
+                           tracer=dsms.observability.tracer,
+                           stall_after=args.stall_after)
+    view = MonitorView(
+        instruments,
+        stages=lambda: session.report().stages,
+        health=health)
+
+    # Replay the stream in frame-sized slices so each rendered frame
+    # shows genuinely live, still-moving numbers.
+    frames = max(1, args.frames)
+    chunk = max(1, -(-len(elements) // frames)) if elements else 1
+    clear = not args.no_clear
+    for start in range(0, len(elements), chunk):
+        for element in elements[start:start + chunk]:
+            session.push(stream_id, element)
+        run_monitor(view, frames=1, interval=0, clear=clear)
+        if args.interval > 0:
+            _time.sleep(args.interval)
+    session.close()
+    run_monitor(view, frames=1, interval=0, clear=clear)
+    critical = sum(1 for alert in health.alerts
+                   if alert.severity == "critical")
+    return 1 if critical else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +401,38 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--limit", type=int, default=50,
                        help="print at most N most recent events")
     audit.set_defaults(fn=_cmd_audit)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a query and emit the collected engine metrics")
+    _add_observed_arguments(metrics)
+    metrics.add_argument("--format", default="prom",
+                         choices=["prom", "json"],
+                         help="exposition format (default: prom)")
+    metrics.add_argument("--serve", action="store_true",
+                         help="keep serving /metrics over HTTP after "
+                              "the run")
+    metrics.add_argument("--host", default="127.0.0.1",
+                         help="scrape endpoint bind host")
+    metrics.add_argument("--port", type=int, default=9464,
+                         help="scrape endpoint port (default: 9464)")
+    metrics.set_defaults(fn=_cmd_metrics)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="replay a stream in a live session with a top-style view")
+    _add_observed_arguments(monitor)
+    monitor.add_argument("--frames", type=int, default=5,
+                         help="dashboard frames to render (default: 5)")
+    monitor.add_argument("--interval", type=float, default=0.5,
+                         help="seconds between frames (default: 0.5)")
+    monitor.add_argument("--no-clear", action="store_true",
+                         help="append frames instead of redrawing "
+                              "(for logs/pipes)")
+    monitor.add_argument("--stall-after", type=float, default=5.0,
+                         help="stalled-stream alert threshold in "
+                              "seconds")
+    monitor.set_defaults(fn=_cmd_monitor)
     return parser
 
 

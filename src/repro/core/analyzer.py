@@ -195,11 +195,16 @@ class SPAnalyzer:
         self.audit = None
         #: Trace sink for per-batch span events.
         self.tracer = NullTraceSink()
+        #: sp-batch-size histogram (None = metrics off).
+        self._m_batch_size = None
 
     def bind_observability(self, observability) -> None:
         """Attach a DSMS's :class:`~repro.observability.Observability`."""
         self.audit = observability.audit
         self.tracer = observability.tracer
+        instruments = observability.instruments
+        if instruments is not None:
+            self._m_batch_size = instruments.sp_batch_size.labels()
 
     # -- server policies ---------------------------------------------------
     def add_server_policy(self, sp: SecurityPunctuation) -> None:
@@ -370,6 +375,8 @@ class SPAnalyzer:
             )]
         combined = combine_batch(refined)
         self.sps_out += len(combined)
+        if self._m_batch_size is not None and sps:
+            self._m_batch_size.observe(len(sps))
         if self.tracer.enabled:
             self.tracer.span("analyzer.batch", ts=ts, sps_in=len(sps),
                              sps_out=len(combined))

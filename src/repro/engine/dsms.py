@@ -249,6 +249,12 @@ class DSMS:
             for operator in plan.operators():
                 if operator.audit is None:
                     self.observability.bind(operator)
+        # Metrics: every operator pre-binds its instrument children
+        # once here, so recording sites cost one attribute check.
+        instruments = self.observability.instruments
+        if instruments is not None:
+            for operator in plan.operators():
+                operator.bind_metrics(instruments)
         self._live_plan = plan
         return plan, sinks
 
@@ -308,7 +314,8 @@ class DSMS:
                    else self.catalog.sources())
         executor = Executor(plan, sources,
                             tracer=self.observability.tracer,
-                            batching=batching)
+                            batching=batching,
+                            instruments=self.observability.instruments)
         self.last_report = executor.run()
         return {
             name: QueryResult(name, list(sink.elements))

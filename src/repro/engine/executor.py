@@ -105,12 +105,15 @@ class Executor:
 
     def __init__(self, plan: PhysicalPlan, sources: Iterable[StreamSource],
                  *, tracer: TraceSink | None = None,
-                 batching: bool = True):
+                 batching: bool = True, instruments=None):
         self.plan = plan
         self.sources = list(sources)
         self.tracer = tracer if tracer is not None else NullTraceSink()
         #: Segment-batched execution (see module docstring).
         self.batching = batching
+        #: Engine metric instruments (``None`` = metrics off; the run
+        #: loop then pays one ``is None`` check per element).
+        self.instruments = instruments
         # With a live audit log, a TupleBatch delivered to a fan-out
         # (several downstream consumers) must be split back into tuples
         # so audit events interleave across branches exactly as in
@@ -133,17 +136,26 @@ class Executor:
         if self.batching:
             feed = coalesce_feed(feed)
         push = self._push
+        instruments = self.instruments
         for stream_id, element in feed:
+            if instruments is not None:
+                instruments.mark_ingest(time.perf_counter())
             if type(element) is TupleBatch:
                 size = len(element)
                 report.elements_in += size
                 report.tuples_in += size
+                if instruments is not None:
+                    instruments.tuples_in.inc(size)
             elif is_punctuation(element):
                 report.elements_in += 1
                 report.sps_in += 1
+                if instruments is not None:
+                    instruments.sps_in.inc()
             else:
                 report.elements_in += 1
                 report.tuples_in += 1
+                if instruments is not None:
+                    instruments.tuples_in.inc()
             targets = entries.get(stream_id)
             if targets:
                 if (len(targets) > 1 and self._audit_live
@@ -158,6 +170,10 @@ class Executor:
                         push(node, element, port)
         self._flush()
         report.wall_time = time.perf_counter() - start
+        if instruments is not None:
+            instruments.ingest_wall = None
+            instruments.runs.inc()
+            instruments.run_seconds.observe(report.wall_time)
         report.stages = self.stage_stats()
         if self.tracer.enabled:
             self.tracer.span("executor.run.end",

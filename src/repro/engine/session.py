@@ -19,6 +19,7 @@ callback is given)::
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.core.punctuation import SecurityPunctuation
@@ -47,10 +48,12 @@ class StreamingSession:
         self._dsms = dsms
         self._plan, self._sinks = dsms.build_plan(optimize=optimize)
         self._tracer = dsms.observability.tracer
+        self._instruments = dsms.observability.instruments
         # Sessions receive elements one push at a time, so there is no
         # run to coalesce; the executor stays in element-wise mode.
         self._executor = Executor(self._plan, [], tracer=self._tracer,
-                                  batching=False)
+                                  batching=False,
+                                  instruments=self._instruments)
         self._analyze = analyze_sps
         self._callbacks: dict[str, ResultCallback] = {}
         self._consumed: dict[str, int] = {name: 0 for name in self._sinks}
@@ -98,6 +101,15 @@ class StreamingSession:
                 f"after {last} (use a ReorderBuffer upstream)")
         self._last_ts[stream_id] = element.ts
         self.elements_pushed += 1
+        instruments = self._instruments
+        if instruments is not None:
+            # Push time is the ingest clock: results delivered during
+            # this push measure their end-to-end latency against it.
+            instruments.mark_ingest(time.perf_counter())
+            if isinstance(element, SecurityPunctuation):
+                instruments.sps_in.inc()
+            else:
+                instruments.tuples_in.inc()
         if self._tracer.enabled:
             self._tracer.span(
                 "session.push", stream=stream_id, ts=element.ts,

@@ -22,6 +22,13 @@ semantics:
   (:class:`RingBufferTraceSink`) and a JSONL file sink
   (:class:`JsonlTraceSink`); span events are emitted by the executor,
   streaming sessions and the SP Analyzer.
+* :class:`MetricsRegistry` — Prometheus-style counters, gauges and
+  log-bucketed latency histograms (:data:`CATALOG` lists the engine's
+  canonical families: per-operator latency, end-to-end tuple latency,
+  policy-propagation lag, shield verdicts, Lemma 5.1 skip rates, …),
+  exported as Prometheus text or JSON (:func:`render_prometheus`,
+  :func:`render_json`, :func:`serve_metrics`) and watched live by
+  :class:`MonitorView`/:class:`HealthMonitor` (``repro monitor``).
 
 Everything is off by default — a :class:`~repro.engine.dsms.DSMS`
 built without an explicit :class:`Observability` pays only a handful
@@ -37,7 +44,16 @@ of ``is None`` checks.  Enable with::
 """
 
 from repro.observability.audit import AuditEvent, AuditLog
+from repro.observability.export import (MetricsServer, parse_prometheus,
+                                        render_json, render_prometheus,
+                                        serve_metrics)
+from repro.observability.health import HealthAlert, HealthMonitor
 from repro.observability.hub import Observability
+from repro.observability.instruments import CATALOG, EngineInstruments
+from repro.observability.metrics import (Counter, Gauge, Histogram,
+                                         MetricFamily, MetricsRegistry,
+                                         log_buckets)
+from repro.observability.monitor import MonitorView, run_monitor
 from repro.observability.stats import StageStats, aggregate_stages
 from repro.observability.trace import (JsonlTraceSink, NullTraceSink,
                                        RingBufferTraceSink, SpanEvent,
@@ -46,7 +62,18 @@ from repro.observability.trace import (JsonlTraceSink, NullTraceSink,
 __all__ = [
     "AuditEvent",
     "AuditLog",
+    "CATALOG",
+    "Counter",
+    "EngineInstruments",
+    "Gauge",
+    "HealthAlert",
+    "HealthMonitor",
+    "Histogram",
     "JsonlTraceSink",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsServer",
+    "MonitorView",
     "NullTraceSink",
     "Observability",
     "RingBufferTraceSink",
@@ -54,4 +81,10 @@ __all__ = [
     "StageStats",
     "TraceSink",
     "aggregate_stages",
+    "log_buckets",
+    "parse_prometheus",
+    "render_json",
+    "render_prometheus",
+    "run_monitor",
+    "serve_metrics",
 ]

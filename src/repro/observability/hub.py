@@ -1,16 +1,22 @@
-"""The Observability hub: one object wiring audit + tracing into a DSMS.
+"""The Observability hub: audit + tracing + metrics for one DSMS.
 
-:class:`Observability` bundles the optional :class:`AuditLog` and the
-:class:`TraceSink` a DSMS runs with.  The default (built by
-:meth:`Observability.disabled`) carries no audit log and a
-:class:`NullTraceSink`, so instrumented code paths reduce to cheap
-``is None`` / ``enabled`` checks.  :meth:`Observability.in_memory`
-turns everything on with bounded in-memory storage.
+:class:`Observability` bundles the optional :class:`AuditLog`, the
+:class:`TraceSink` and the optional
+:class:`~repro.observability.metrics.MetricsRegistry` a DSMS runs
+with.  The default (built by :meth:`Observability.disabled`) carries
+no audit log, a :class:`NullTraceSink` and no registry, so
+instrumented code paths reduce to cheap ``is None`` / ``enabled``
+checks.  :meth:`Observability.in_memory` turns everything on with
+bounded in-memory storage; :meth:`Observability.with_metrics` enables
+only the metrics registry (the cheapest always-on production
+configuration).
 """
 
 from __future__ import annotations
 
 from repro.observability.audit import DEFAULT_CAPACITY, AuditLog
+from repro.observability.instruments import EngineInstruments
+from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import (NullTraceSink, RingBufferTraceSink,
                                        TraceSink)
 
@@ -18,29 +24,55 @@ __all__ = ["Observability"]
 
 
 class Observability:
-    """Audit log + trace sink shared by one DSMS and its plans."""
+    """Audit log + trace sink + metrics shared by one DSMS."""
 
     def __init__(self, *, audit: AuditLog | None = None,
-                 tracer: TraceSink | None = None):
+                 tracer: TraceSink | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.audit = audit
         self.tracer = tracer if tracer is not None else NullTraceSink()
+        self.metrics = metrics
+        self._instruments: EngineInstruments | None = None
 
     # -- constructors ------------------------------------------------------
     @classmethod
     def disabled(cls) -> "Observability":
-        """No audit, no tracing — the zero-overhead default."""
+        """No audit, no tracing, no metrics — the zero-overhead default."""
         return cls()
 
     @classmethod
     def in_memory(cls, *, audit_capacity: int = DEFAULT_CAPACITY,
                   trace_capacity: int = 4096) -> "Observability":
-        """Bounded in-memory audit log + ring-buffer trace sink."""
+        """Bounded in-memory audit log + ring-buffer trace sink +
+        metrics registry (everything on)."""
         return cls(audit=AuditLog(audit_capacity),
-                   tracer=RingBufferTraceSink(trace_capacity))
+                   tracer=RingBufferTraceSink(trace_capacity),
+                   metrics=MetricsRegistry())
+
+    @classmethod
+    def with_metrics(cls) -> "Observability":
+        """Metrics registry only: no audit trail, no tracing.
+
+        The configuration the overhead benchmark calls "registry on"
+        — counters, gauges and histograms are live, but nothing is
+        recorded per decision and batched fast paths stay enabled.
+        """
+        return cls(metrics=MetricsRegistry())
 
     @property
     def enabled(self) -> bool:
-        return self.audit is not None or self.tracer.enabled
+        return (self.audit is not None or self.tracer.enabled
+                or self.metrics is not None)
+
+    @property
+    def instruments(self) -> EngineInstruments | None:
+        """The engine's canonical instruments (``None`` without a
+        registry); built lazily, once, on first access."""
+        if self.metrics is None:
+            return None
+        if self._instruments is None:
+            self._instruments = EngineInstruments(self.metrics)
+        return self._instruments
 
     # -- wiring -------------------------------------------------------------
     def bind(self, operator, query: str | None = None) -> None:
@@ -49,11 +81,13 @@ class Observability:
         Operators record through their ``audit`` attribute; ``query``
         attributes events to a specific registered query (shields and
         delivery shields), ``None`` leaves shared operators
-        query-anonymous.
+        query-anonymous.  The query attribution is kept even without
+        an audit log: metric series label by it too.
         """
+        if query is not None:
+            operator.audit_query = query
         if self.audit is not None:
             operator.audit = self.audit
-            operator.audit_query = query
 
     def span(self, name: str, **attrs) -> None:
         """Emit one trace span event (no-op when tracing is off)."""
@@ -62,4 +96,5 @@ class Observability:
 
     def __repr__(self) -> str:
         return (f"Observability(audit={self.audit!r}, "
-                f"tracer={type(self.tracer).__name__})")
+                f"tracer={type(self.tracer).__name__}, "
+                f"metrics={self.metrics!r})")

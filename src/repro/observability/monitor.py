@@ -1,0 +1,229 @@
+"""The live ``repro monitor`` terminal view.
+
+:class:`MonitorView` renders one *frame* — a plain-text dashboard of
+four panels over a running DSMS/session — and :func:`run_monitor`
+loops it top-style (ANSI home+clear between frames, plain append when
+the terminal is dumb or ``--no-clear`` is given):
+
+* **operators** — per-operator throughput, drops, selectivity and
+  EWMA processing speed (the ``repro stats`` table, live);
+* **latency** — p50/p95/p99/max for every latency histogram family
+  (operator, end-to-end tuple, policy propagation, run duration);
+* **security** — shield pass/drop counters per role predicate,
+  denial-by-default drops, SPIndex skipping-rule hit rate, sp-batch
+  and segment size quantiles;
+* **health** — the :class:`~repro.observability.health.HealthMonitor`
+  verdict for this frame plus any alerts raised earlier.
+
+Rendering is read-only over the metric registry and operator stats —
+a frame never mutates engine state, so the monitor can run beside an
+active workload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.metrics.reporting import format_table
+from repro.observability.health import HealthMonitor
+from repro.observability.instruments import EngineInstruments
+from repro.observability.metrics import Histogram
+
+__all__ = ["MonitorView", "run_monitor"]
+
+#: ANSI: cursor home + clear to end of screen (top-style redraw).
+_CLEAR = "\x1b[H\x1b[J"
+
+_LATENCY_FAMILIES = (
+    ("repro_operator_latency_seconds", "operator"),
+    ("repro_tuple_latency_seconds", "e2e tuple"),
+    ("repro_policy_propagation_seconds", "propagation"),
+    ("repro_run_seconds", "run"),
+)
+
+
+def _series_name(values: tuple[str, ...]) -> str:
+    return "/".join(v for v in values if v) or "(all)"
+
+
+def _quantile_row(label: str, series: str,
+                  hist: Histogram) -> list[object]:
+    return [label, series, hist.count,
+            hist.quantile(0.5), hist.quantile(0.95),
+            hist.quantile(0.99), hist.max]
+
+
+class MonitorView:
+    """Renders dashboard frames from live instruments and stats."""
+
+    def __init__(self, instruments: EngineInstruments, *,
+                 stages: Callable[[], list] | None = None,
+                 health: HealthMonitor | None = None):
+        self.instruments = instruments
+        #: Zero-arg callable returning the current
+        #: :class:`~repro.observability.stats.StageStats` list
+        #: (``None`` renders the metrics-only panels).
+        self.stages = stages
+        self.health = health
+        self.frames_rendered = 0
+
+    # -- panels --------------------------------------------------------------
+    def _panel_operators(self) -> str | None:
+        if self.stages is None:
+            return None
+        stages = self.stages()
+        if not stages:
+            return None
+        from repro.observability.stats import StageStats
+        return format_table(StageStats.HEADERS,
+                            [s.to_row() for s in stages],
+                            title="operators")
+
+    def _panel_latency(self) -> str | None:
+        rows: list[list[object]] = []
+        registry = self.instruments.registry
+        for name, label in _LATENCY_FAMILIES:
+            family = registry.get(name)
+            if family is None:
+                continue
+            for values, child in family.series():
+                if child.count == 0:
+                    continue
+                rows.append(_quantile_row(label, _series_name(values),
+                                          child))
+        if not rows:
+            return None
+        return format_table(
+            ("latency", "series", "n", "p50", "p95", "p99", "max"),
+            rows, title="latency (seconds)")
+
+    def _panel_security(self) -> str | None:
+        lines: list[str] = []
+        shield_rows = self._shield_rows()
+        if shield_rows:
+            lines.append(format_table(
+                ("shield", "query", "roles", "pass", "drop", "denial"),
+                shield_rows, title="security"))
+        size_rows = self._size_rows()
+        if size_rows:
+            lines.append(format_table(
+                ("distribution", "series", "n", "p50", "p95", "max"),
+                size_rows))
+        skip_rows = self._skip_rows()
+        if skip_rows:
+            lines.append(format_table(
+                ("spindex", "side", "scanned", "skipped", "hit_rate"),
+                skip_rows))
+        if not lines:
+            return None
+        return "\n\n".join(lines)
+
+    def _shield_rows(self) -> list[list[object]]:
+        # Regroup the 4-label counter into one row per shield/roles
+        # with pass/drop columns side by side.
+        verdicts: dict[tuple[str, str, str], dict[str, float]] = {}
+        for values, child in self.instruments.shield_tuples.series():
+            operator, query, roles, verdict = values
+            key = (operator, query, roles)
+            verdicts.setdefault(key, {})[verdict] = child.current()
+        denials = {values: child.current() for values, child
+                   in self.instruments.denial_drops.series()}
+        rows = []
+        for (operator, query, roles), counts in sorted(verdicts.items()):
+            rows.append([operator, query or "-", roles or "-",
+                         int(counts.get("pass", 0)),
+                         int(counts.get("drop", 0)),
+                         int(denials.get((operator, query), 0))])
+        return rows
+
+    def _size_rows(self) -> list[list[object]]:
+        rows = []
+        for family, label in (
+                (self.instruments.segment_size, "segment tuples"),
+                (self.instruments.sp_batch_size, "sp-batch sps")):
+            for values, child in family.series():
+                if child.count == 0:
+                    continue
+                rows.append([label, _series_name(values), child.count,
+                             child.quantile(0.5), child.quantile(0.95),
+                             child.max])
+        return rows
+
+    def _skip_rows(self) -> list[list[object]]:
+        probes: dict[tuple[str, str], dict[str, float]] = {}
+        for values, child in self.instruments.spindex_entries.series():
+            operator, side, outcome = values
+            probes.setdefault((operator, side), {})[outcome] = (
+                child.current())
+        rows = []
+        for (operator, side), counts in sorted(probes.items()):
+            scanned = counts.get("scanned", 0)
+            skipped = counts.get("skipped", 0)
+            rate = skipped / scanned if scanned else 0.0
+            rows.append([operator, side, int(scanned), int(skipped),
+                         round(rate, 3)])
+        return rows
+
+    def _panel_health(self) -> str | None:
+        if self.health is None:
+            return None
+        new = self.health.check()
+        lines = ["health"]
+        if not self.health.alerts:
+            lines.append("  ok - no alerts")
+        else:
+            recent = self.health.alerts[-5:]
+            for alert in recent:
+                marker = "*" if alert in new else " "
+                lines.append(f" {marker}[{alert.severity}] "
+                             f"{alert.rule}: {alert.message}")
+            if len(self.health.alerts) > len(recent):
+                lines.append(f"  ... {len(self.health.alerts)} alerts "
+                             f"total")
+        return "\n".join(lines)
+
+    def _panel_totals(self) -> str:
+        tuples = int(self.instruments.tuples_in.current())
+        sps = int(self.instruments.sps_in.current())
+        runs = int(self.instruments.runs.labels().current())
+        return (f"elements: {tuples} tuples, {sps} sps | "
+                f"runs: {runs} | frame: {self.frames_rendered}")
+
+    # -- frames --------------------------------------------------------------
+    def render(self) -> str:
+        """One full dashboard frame as plain text."""
+        self.frames_rendered += 1
+        panels = ["repro monitor", self._panel_totals(),
+                  self._panel_operators(), self._panel_latency(),
+                  self._panel_security(), self._panel_health()]
+        return "\n\n".join(p for p in panels if p) + "\n"
+
+
+def run_monitor(view: MonitorView, *, frames: int | None = None,
+                interval: float = 1.0, clear: bool = True,
+                write: Callable[[str], None] | None = None,
+                sleep: Callable[[float], None] = time.sleep) -> int:
+    """Render frames until ``frames`` is exhausted (or forever).
+
+    ``write`` defaults to stdout; tests inject a collector and
+    ``interval=0``.  Returns the number of frames rendered.  A
+    ``KeyboardInterrupt`` exits cleanly — it is the expected way to
+    leave an unbounded monitor.
+    """
+    if write is None:
+        import sys
+        write = sys.stdout.write
+    rendered = 0
+    try:
+        while frames is None or rendered < frames:
+            frame = view.render()
+            write(_CLEAR + frame if clear else frame)
+            rendered += 1
+            if frames is not None and rendered >= frames:
+                break
+            if interval > 0:
+                sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return rendered

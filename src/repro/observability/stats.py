@@ -55,15 +55,28 @@ class StageStats:
             return 1.0
         return self.tuples_out / self.tuples_in
 
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of arriving tuples this operator discarded.
+
+        Unlike ``1 - selectivity`` this counts only *security/semantic*
+        discards (``drops``), not transformations that merely emit
+        fewer tuples (failed selections, aggregation).
+        """
+        if self.tuples_in == 0:
+            return 0.0
+        return self.drops / self.tuples_in
+
     def to_row(self) -> list:
         """Table row for the ``repro stats`` report."""
         return [self.name, self.kind, self.tuples_in, self.tuples_out,
                 self.sps_in, self.sps_out, self.drops,
+                round(self.selectivity, 3), round(self.drop_rate, 3),
                 self.processing_time, self.ewma_seconds,
                 self.queue_depth]
 
     HEADERS = ("operator", "kind", "t_in", "t_out", "sp_in", "sp_out",
-               "drops", "time_s", "ewma_s", "queue")
+               "drops", "sel", "drop%", "time_s", "ewma_s", "queue")
 
 
 def aggregate_stages(stages: "list[StageStats]") -> dict:

@@ -42,18 +42,26 @@ __all__ = ["OperatorStats", "Operator", "UnaryOperator", "BinaryOperator",
 _POSITIVE = Sign.POSITIVE
 
 
-#: Smoothing factor for the per-element processing-time EWMA.
+#: Default smoothing factor for the per-element processing-time EWMA.
 EWMA_ALPHA = 0.05
 
 
 class OperatorStats:
-    """Counters and timing for one operator instance."""
+    """Counters and timing for one operator instance.
 
-    __slots__ = ("tuples_in", "tuples_out", "sps_in", "sps_out",
+    ``alpha`` is the smoothing factor of the per-element
+    processing-time EWMA: smaller values average over a longer
+    history, larger values track the current rate more nervously.
+    """
+
+    __slots__ = ("alpha", "tuples_in", "tuples_out", "sps_in", "sps_out",
                  "comparisons", "state_ops", "processing_time",
                  "ewma_seconds")
 
-    def __init__(self):
+    def __init__(self, alpha: float = EWMA_ALPHA):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("EWMA alpha must be within (0, 1]")
+        self.alpha = alpha
         self.tuples_in = 0
         self.tuples_out = 0
         self.sps_in = 0
@@ -72,7 +80,7 @@ class OperatorStats:
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
     def reset(self) -> None:
-        self.__init__()
+        self.__init__(self.alpha)
 
     def __repr__(self) -> str:
         return (f"OperatorStats(in={self.tuples_in}t/{self.sps_in}sp, "
@@ -95,14 +103,18 @@ class Operator:
     #: streams stay byte-identical across execution modes.
     audit_batch_safe = True
 
-    def __init__(self, name: str | None = None):
+    def __init__(self, name: str | None = None, *,
+                 ewma_alpha: float = EWMA_ALPHA):
         self.name = name or type(self).__name__
-        self.stats = OperatorStats()
+        self.stats = OperatorStats(ewma_alpha)
         #: Audit log to record security decisions into (set by the
         #: observability hub; ``None`` keeps the fast path silent).
         self.audit = None
         #: Query name audit events are attributed to, when known.
         self.audit_query: str | None = None
+        #: Latency histogram child (bound by :meth:`bind_metrics`;
+        #: ``None`` keeps the fast path to a single attribute check).
+        self._m_latency = None
 
     def process(self, element: StreamElement,
                 port: int = 0) -> list[StreamElement]:
@@ -118,7 +130,9 @@ class Operator:
         out = self._process(element, port)
         elapsed = time.perf_counter() - start
         stats.processing_time += elapsed
-        stats.ewma_seconds += EWMA_ALPHA * (elapsed - stats.ewma_seconds)
+        stats.ewma_seconds += stats.alpha * (elapsed - stats.ewma_seconds)
+        if self._m_latency is not None:
+            self._m_latency.observe(elapsed)
         if isinstance(element, SecurityPunctuation):
             stats.sps_in += 1
         else:
@@ -167,8 +181,13 @@ class Operator:
         n = len(batch)
         if n:
             # Per-element EWMA, updated once with the run's mean cost.
-            stats.ewma_seconds += EWMA_ALPHA * (elapsed / n
-                                                - stats.ewma_seconds)
+            stats.ewma_seconds += stats.alpha * (elapsed / n
+                                                 - stats.ewma_seconds)
+            if self._m_latency is not None:
+                # One observation per run, at the run's mean
+                # per-element cost (histogram counts therefore differ
+                # between execution modes; values don't skew).
+                self._m_latency.observe(elapsed / n)
         stats.tuples_in += n
         for item in out:
             if isinstance(item, TupleBatch):
@@ -205,6 +224,21 @@ class Operator:
         failed selection) don't count as drops.
         """
         return 0
+
+    def bind_metrics(self, instruments) -> None:
+        """Pre-bind this operator's metric children (hub wiring).
+
+        The base binding covers every operator: a per-operator latency
+        histogram series (observed in :meth:`process` /
+        :meth:`process_batch`) and a pull-mode queue-depth gauge read
+        from :meth:`state_size` at collection time.  Subclasses with
+        security telemetry (shields, index joins, sinks) extend this —
+        always calling ``super().bind_metrics(instruments)``.
+        """
+        self._m_latency = instruments.operator_latency.labels(
+            self.name, type(self).__name__)
+        instruments.queue_depth.labels(self.name).set_function(
+            self.state_size)
 
     def stage_stats(self) -> "StageStats":
         """Immutable snapshot of this operator's runtime metrics."""

@@ -48,6 +48,23 @@ class IndexSAJoin(SAJoinBase):
     def _segment_purged(self, segment: Segment, port: int) -> None:
         self.indexes[port].remove_segment(segment)
 
+    # -- metrics wiring ------------------------------------------------------
+    def bind_metrics(self, instruments) -> None:
+        """Expose SPIndex probe accounting as pull-mode gauges.
+
+        The skipped/scanned ratio per side is the Lemma 5.1
+        skipping-rule hit rate; callbacks read the index counters at
+        collection time, so probing pays nothing extra.
+        """
+        super().bind_metrics(instruments)
+        for side, index in zip(("left", "right"), self.indexes):
+            instruments.spindex_entries.labels(
+                self.name, side, "scanned").set_function(
+                    lambda idx=index: idx.entries_scanned)
+            instruments.spindex_entries.labels(
+                self.name, side, "skipped").set_function(
+                    lambda idx=index: idx.entries_skipped)
+
     # -- probing --------------------------------------------------------------
     def _probe(self, item: DataTuple, policy: TuplePolicy,
                port: int) -> list[StreamElement]:

@@ -25,6 +25,7 @@ benchmark.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from repro.core.bitmap import AbstractRoleSet, RoleSet
@@ -85,6 +86,37 @@ class SecurityShield(UnaryOperator):
         #: Tuples discarded by the shield (the security selectivity).
         self.tuples_blocked = 0
         self.sps_blocked = 0
+        # -- metrics children (None until bind_metrics; every hot-path
+        # recording site is guarded by one attribute check) ------------
+        self._instruments = None
+        self._m_pass = None
+        self._m_drop = None
+        self._m_prop = None
+        self._m_seg = None
+        self._m_denial = None
+        #: Wall clock of the first sp of the pending batch (policy
+        #: propagation lag start point).
+        self._sp_wall: float | None = None
+        #: Tuples seen since the last segment boundary (segment size).
+        self._segment_tuples = 0
+        #: Whether the current segment runs under denial-by-default.
+        self._segment_denial = False
+
+    # -- metrics wiring -----------------------------------------------------
+    def bind_metrics(self, instruments) -> None:
+        """Bind shield telemetry: verdict counters keyed by the role
+        predicate, propagation-lag and segment-size histograms."""
+        super().bind_metrics(instruments)
+        self._instruments = instruments
+        query = self.audit_query or ""
+        roles = ",".join(self._predicate_list)
+        self._m_pass = instruments.shield_tuples.labels(
+            self.name, query, roles, "pass")
+        self._m_drop = instruments.shield_tuples.labels(
+            self.name, query, roles, "drop")
+        self._m_prop = instruments.propagation.labels(self.name, query)
+        self._m_seg = instruments.segment_size.labels(self.name)
+        self._m_denial = instruments.denial_drops.labels(self.name, query)
 
     # -- predicate management (used by SS split/merge rewrites) -------------
     def rebind(self, roles: Iterable[str] | AbstractRoleSet) -> None:
@@ -106,6 +138,10 @@ class SecurityShield(UnaryOperator):
         self._predicate_list = sorted(roles.names())
         self._conjunct_scans = (self._predicate_list,)
         self._decision_stale = True
+        if self._instruments is not None:
+            # The roles label changed: re-point the verdict counters at
+            # the new predicate's series.
+            self.bind_metrics(self._instruments)
         if self.audit is not None:
             sps = self.tracker.current_sps()
             self.audit.record(
@@ -190,8 +226,23 @@ class SecurityShield(UnaryOperator):
         if isinstance(element, SecurityPunctuation):
             self.tracker.observe_sp(element)
             self._decision_stale = True
+            if self._m_prop is not None:
+                self._observe_segment_boundary()
             return []
+        if self._m_seg is not None:
+            self._segment_tuples += 1
         return self._process_tuple(element)
+
+    def _observe_segment_boundary(self) -> None:
+        """Metrics at an sp arrival: close the previous segment's size
+        observation and start the propagation-lag clock."""
+        if self._sp_wall is None:
+            # First sp of the pending batch: lag runs from here to the
+            # first enforcement decision taken under the new policy.
+            self._sp_wall = time.perf_counter()
+        if self._segment_tuples:
+            self._m_seg.observe(self._segment_tuples)
+            self._segment_tuples = 0
 
     def _process_tuple(self, item: DataTuple) -> list[StreamElement]:
         if self._decision_stale:
@@ -204,9 +255,15 @@ class SecurityShield(UnaryOperator):
             passing = self._segment_decision
         if not passing:
             self.tuples_blocked += 1
+            if self._m_drop is not None:
+                self._m_drop.inc()
+                if self._segment_denial:
+                    self._m_denial.inc()
             if self.audit is not None:
                 self._audit_drop(item)
             return []
+        if self._m_pass is not None:
+            self._m_pass.inc()
         out: list[StreamElement] = []
         if self._held_sps:
             out.extend(self._held_sps)
@@ -225,6 +282,8 @@ class SecurityShield(UnaryOperator):
         the per-tuple decision loop.
         """
         tuples = batch.tuples
+        if self._m_seg is not None:
+            self._segment_tuples += len(tuples)
         if self._decision_stale:
             self._refresh_decision(tuples[0])
         decision = self._segment_decision
@@ -237,10 +296,16 @@ class SecurityShield(UnaryOperator):
             return out
         if not decision:
             self.tuples_blocked += len(tuples)
+            if self._m_drop is not None:
+                self._m_drop.inc(len(tuples))
+                if self._segment_denial:
+                    self._m_denial.inc(len(tuples))
             if self.audit is not None:
                 for item in tuples:
                     self._audit_drop(item)
             return []
+        if self._m_pass is not None:
+            self._m_pass.inc(len(tuples))
         out = []
         if self._held_sps:
             out.extend(self._held_sps)
@@ -268,6 +333,13 @@ class SecurityShield(UnaryOperator):
             self._segment_decision = None
             self._held_sps = pending
         self._decision_stale = False
+        if self._m_prop is not None:
+            self._segment_denial = not self.tracker.current_sps()
+            if self._sp_wall is not None:
+                # First enforcement decision under the new policy: the
+                # paper's "speed of enforcement", measured.
+                self._m_prop.observe(time.perf_counter() - self._sp_wall)
+                self._sp_wall = None
         if self.audit is not None:
             self._audit_segment(item, policy)
 
@@ -302,6 +374,13 @@ class SecurityShield(UnaryOperator):
             policy=tuple(sorted(policy.roles.names())),
             sp=self._describe_sps(),
         )
+
+    def flush(self) -> list[StreamElement]:
+        """End of stream: the trailing segment's size is now known."""
+        if self._m_seg is not None and self._segment_tuples:
+            self._m_seg.observe(self._segment_tuples)
+            self._segment_tuples = 0
+        return []
 
     def state_size(self) -> int:
         return len(self.predicate)

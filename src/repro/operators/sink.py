@@ -1,6 +1,15 @@
-"""Output sinks: plan leaves collecting or counting results."""
+"""Output sinks: plan leaves collecting or counting results.
+
+Sinks are where results *emerge*, so they are also where end-to-end
+tuple latency is measured: with metrics bound, each delivered tuple
+closes the span the executor (or streaming session) opened when the
+source element entered the plan — the
+``repro_tuple_latency_seconds`` histogram.
+"""
 
 from __future__ import annotations
+
+import time
 
 from repro.core.punctuation import SecurityPunctuation
 from repro.operators.base import UnaryOperator
@@ -11,16 +20,36 @@ from repro.stream.tuples import DataTuple
 __all__ = ["CollectingSink", "CountingSink"]
 
 
-class CollectingSink(UnaryOperator):
+class _LatencySinkMixin:
+    """End-to-end latency recording shared by the sink types."""
+
+    def bind_metrics(self, instruments) -> None:
+        super().bind_metrics(instruments)
+        self._instruments = instruments
+        query = self.name.removeprefix("sink:")
+        self._m_e2e = instruments.tuple_latency.labels(query)
+
+    def _observe_emit(self) -> None:
+        """One latency observation for the element(s) just emitted."""
+        wall = self._instruments.ingest_wall
+        if wall is not None:
+            self._m_e2e.observe(time.perf_counter() - wall)
+
+
+class CollectingSink(_LatencySinkMixin, UnaryOperator):
     """Stores everything it receives; used by tests and examples."""
 
     def __init__(self, name: str | None = None):
         super().__init__(name)
         self.elements: list[StreamElement] = []
+        self._m_e2e = None
 
     def _process(self, element: StreamElement,
                  port: int) -> list[StreamElement]:
         self.elements.append(element)
+        if (self._m_e2e is not None
+                and not isinstance(element, SecurityPunctuation)):
+            self._observe_emit()
         return []
 
     def _process_batch(self, batch: TupleBatch,
@@ -28,6 +57,9 @@ class CollectingSink(UnaryOperator):
         # Batches are unwrapped at the sink: collected results are
         # identical with and without batched execution.
         self.elements.extend(batch.tuples)
+        if self._m_e2e is not None:
+            # One observation per run (its tuples share one ingest).
+            self._observe_emit()
         return []
 
     def tuples(self) -> list[DataTuple]:
@@ -44,7 +76,7 @@ class CollectingSink(UnaryOperator):
         return len(self.elements)
 
 
-class CountingSink(UnaryOperator):
+class CountingSink(_LatencySinkMixin, UnaryOperator):
     """Counts results without retaining them; used by benchmarks."""
 
     def __init__(self, name: str | None = None):
@@ -53,6 +85,7 @@ class CountingSink(UnaryOperator):
         self.sp_count = 0
         self.first_ts: float | None = None
         self.last_ts: float | None = None
+        self._m_e2e = None
 
     def _process(self, element: StreamElement,
                  port: int) -> list[StreamElement]:
@@ -63,6 +96,8 @@ class CountingSink(UnaryOperator):
             if self.first_ts is None:
                 self.first_ts = element.ts
             self.last_ts = element.ts
+            if self._m_e2e is not None:
+                self._observe_emit()
         return []
 
     def _process_batch(self, batch: TupleBatch,
@@ -72,4 +107,6 @@ class CountingSink(UnaryOperator):
         if self.first_ts is None:
             self.first_ts = tuples[0].ts
         self.last_ts = tuples[-1].ts
+        if self._m_e2e is not None:
+            self._observe_emit()
         return []

@@ -6,7 +6,12 @@ workload with ``batching=True`` and ``batching=False`` must produce
 
 * identical ordered result elements per query,
 * identical drop counts (whole-plan and per stage),
-* identical audit event sequences (with observability on).
+* identical audit event sequences (with observability on),
+* identical security metric counters (shield verdicts,
+  denial-by-default drops, segment/sp-batch size distributions) —
+  latency histograms may legitimately differ in observation counts
+  (one observation per batch vs per element), but decision counting
+  must not depend on the execution mode.
 
 Stream shapes cover uniform segments, non-uniform (tuple-scoped)
 segments, held-sp release, empty segments, denial-by-default prefixes
@@ -67,6 +72,44 @@ def assert_equivalent(plain, batched):
         plain_events = [asdict(e) for e in plain_dsms.audit]
         batched_events = [asdict(e) for e in batched_dsms.audit]
         assert plain_events == batched_events
+    if plain_dsms.observability.metrics is not None:
+        assert_security_metrics_equivalent(plain_dsms, batched_dsms)
+
+
+#: Counter families whose per-series totals must match across modes.
+_SECURITY_COUNTERS = ("repro_shield_tuples_total",
+                      "repro_denial_by_default_drops_total")
+#: Histogram families whose full distribution must match across modes
+#: (sizes are data-dependent, not timing-dependent).
+_SECURITY_HISTOGRAMS = ("repro_segment_size_tuples",
+                        "repro_sp_batch_size_sps")
+
+
+def _counter_series(registry, name):
+    family = registry.get(name)
+    if family is None:
+        return {}
+    return {values: child.current() for values, child in family.series()}
+
+
+def _histogram_series(registry, name):
+    family = registry.get(name)
+    if family is None:
+        return {}
+    return {values: (child.count, child.sum, tuple(child.counts))
+            for values, child in family.series()}
+
+
+def assert_security_metrics_equivalent(plain_dsms, batched_dsms):
+    """Security decision metrics must not depend on execution mode."""
+    plain_reg = plain_dsms.observability.metrics
+    batched_reg = batched_dsms.observability.metrics
+    for name in _SECURITY_COUNTERS:
+        assert _counter_series(plain_reg, name) == \
+            _counter_series(batched_reg, name), name
+    for name in _SECURITY_HISTOGRAMS:
+        assert _histogram_series(plain_reg, name) == \
+            _histogram_series(batched_reg, name), name
 
 
 # -- stream shapes ---------------------------------------------------------

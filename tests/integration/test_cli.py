@@ -166,3 +166,85 @@ class TestAuditCommand:
         records = [json.loads(line)
                    for line in path.read_text().splitlines()]
         assert any(r["kind"] == "shield.drop" for r in records)
+
+
+class TestMetricsCommand:
+    def test_prom_output_parses(self, capsys):
+        from repro.observability.export import parse_prometheus
+
+        code = main(["metrics", "--format", "prom"])
+        out = capsys.readouterr().out
+        assert code == 0
+        samples = parse_prometheus(out)
+        assert any(name.startswith("repro_policy_propagation_seconds")
+                   for name in samples)
+        assert any(name.startswith("repro_operator_latency_seconds")
+                   for name in samples)
+        assert any(name.startswith("repro_shield_tuples_total")
+                   for name in samples)
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(["metrics", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["repro_elements_total"]["kind"] == "counter"
+        assert "repro_tuple_latency_seconds" in doc
+
+    def test_wire_file_input(self, tmp_path, capsys):
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.observability.export import parse_prometheus
+        from repro.stream.tuples import DataTuple
+
+        path = tmp_path / "stream.jsonl"
+        elements = [
+            SecurityPunctuation.grant(["ND"], ts=0.0),
+            DataTuple("s", 1, {"v": 1}, 1.0),
+            DataTuple("s", 2, {"v": 2}, 2.0),
+        ]
+        path.write_text("\n".join(encode_element(e) for e in elements))
+        code = main(["metrics", str(path), "--roles", "ND"])
+        out = capsys.readouterr().out
+        assert code == 0
+        samples = parse_prometheus(out)
+        tuples = [value for labels, value
+                  in samples["repro_elements_total"]
+                  if labels["kind"] == "tuple"]
+        assert tuples == [2.0]
+
+
+class TestMonitorCommand:
+    def test_renders_frames_over_demo_stream(self, capsys):
+        code = main(["monitor", "--frames", "2", "--interval", "0",
+                     "--no-clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("repro monitor") >= 2
+        assert "latency (seconds)" in out
+        assert "security" in out
+        assert "health" in out
+
+    def test_clear_mode_emits_ansi(self, capsys):
+        code = main(["monitor", "--frames", "1", "--interval", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "\x1b[H\x1b[J" in out
+
+    def test_wire_file_input(self, tmp_path, capsys):
+        from repro.core.punctuation import SecurityPunctuation
+        from repro.stream.tuples import DataTuple
+
+        path = tmp_path / "stream.jsonl"
+        elements = [
+            SecurityPunctuation.grant(["ND"], ts=0.0),
+            DataTuple("s", 1, {"v": 1}, 1.0),
+            DataTuple("s", 2, {"v": 2}, 2.0),
+        ]
+        path.write_text("\n".join(encode_element(e) for e in elements))
+        code = main(["monitor", str(path), "--roles", "ND",
+                     "--frames", "1", "--interval", "0", "--no-clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "elements: 2 tuples, 1 sps" in out

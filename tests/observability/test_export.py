@@ -1,0 +1,135 @@
+"""Exposition surfaces: Prometheus text, JSON, scrape endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability.export import (parse_prometheus, render_json,
+                                        render_prometheus, serve_metrics)
+from repro.observability.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "a counter", labels=("k",)).labels(
+        "v1").inc(3)
+    registry.gauge("demo_depth", "a gauge").set(7)
+    hist = registry.histogram("demo_seconds", "a histogram",
+                              buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.7, 20.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_round_trip_parses(self):
+        text = render_prometheus(populated_registry())
+        samples = parse_prometheus(text)
+        assert samples["demo_total"] == [({"k": "v1"}, 3.0)]
+        assert samples["demo_depth"] == [({}, 7.0)]
+
+    def test_help_and_type_headers(self):
+        text = render_prometheus(populated_registry())
+        assert "# HELP demo_total a counter" in text
+        assert "# TYPE demo_total counter" in text
+        assert "# TYPE demo_seconds histogram" in text
+
+    def test_histogram_series_shape(self):
+        samples = parse_prometheus(
+            render_prometheus(populated_registry()))
+        buckets = {labels["le"]: value for labels, value
+                   in samples["demo_seconds_bucket"]}
+        # Cumulative le semantics, ending in +Inf == _count.
+        assert buckets["0.1"] == 1.0
+        assert buckets["1"] == 3.0
+        assert buckets["10"] == 3.0
+        assert buckets["+Inf"] == 4.0
+        assert samples["demo_seconds_count"] == [({}, 4.0)]
+        assert samples["demo_seconds_sum"][0][1] == pytest.approx(21.25)
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        tricky = 'role "D",\nbackslash\\'
+        registry.counter("esc_total", labels=("who",)).labels(
+            tricky).inc()
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples["esc_total"][0][0]["who"] == tricky
+
+    def test_empty_families_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("never_used_total", "no series yet")
+        assert render_prometheus(registry) == ""
+
+    def test_engine_registry_renders(self):
+        """The full engine catalog renders and parses."""
+        from repro.observability.instruments import EngineInstruments
+
+        registry = MetricsRegistry()
+        instruments = EngineInstruments(registry)
+        instruments.tuples_in.inc(5)
+        instruments.propagation.labels("shield", "q").observe(1e-4)
+        samples = parse_prometheus(render_prometheus(registry))
+        assert ({"kind": "tuple"}, 5.0) in samples["repro_elements_total"]
+        assert ("repro_policy_propagation_seconds_count" in samples)
+
+
+class TestParserValidation:
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="before its # TYPE"):
+            parse_prometheus("lonely_total 1\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus("# TYPE x counter\nx not-a-number\n")
+
+    def test_rejects_unterminated_label(self):
+        with pytest.raises(ValueError):
+            parse_prometheus('# TYPE x counter\nx{k="v} 1\n')
+
+    def test_rejects_missing_value(self):
+        with pytest.raises(ValueError, match="without a value"):
+            parse_prometheus('# TYPE x counter\nx{k="v"}\n')
+
+
+class TestJson:
+    def test_valid_json_with_quantiles(self):
+        doc = json.loads(render_json(populated_registry()))
+        assert doc["demo_total"]["series"][0]["value"] == 3.0
+        hist = doc["demo_seconds"]["series"][0]
+        assert hist["count"] == 4
+        assert "p95" in hist and "p50" in hist
+
+
+class TestScrapeEndpoint:
+    def test_serves_text_and_json(self):
+        registry = populated_registry()
+        with serve_metrics(registry) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                text = resp.read().decode()
+            with urllib.request.urlopen(server.url + ".json",
+                                        timeout=5) as resp:
+                doc = json.loads(resp.read().decode())
+        samples = parse_prometheus(text)
+        assert samples["demo_total"][0][1] == 3.0
+        assert doc["demo_depth"]["series"][0]["value"] == 7.0
+
+    def test_scrape_sees_live_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("live_total").labels()
+        with serve_metrics(registry) as server:
+            counter.inc(41)
+            counter.inc()
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                text = resp.read().decode()
+        assert parse_prometheus(text)["live_total"][0][1] == 42.0
+
+    def test_unknown_path_is_404(self):
+        with serve_metrics(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    server.url.replace("/metrics", "/nope"), timeout=5)
+            assert excinfo.value.code == 404

@@ -1,0 +1,195 @@
+"""Metric primitives: buckets, quantiles, families, registry."""
+
+import math
+
+import pytest
+
+from repro.observability.metrics import (LATENCY_BUCKETS, SIZE_BUCKETS,
+                                         Counter, Gauge, Histogram,
+                                         MetricsRegistry, log_buckets)
+
+
+class TestLogBuckets:
+    def test_spans_both_ends(self):
+        bounds = log_buckets(1e-6, 10.0, 4)
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] == pytest.approx(10.0)
+
+    def test_per_decade_density(self):
+        bounds = log_buckets(1.0, 1000.0, 2)
+        # 3 decades * 2 per decade + the inclusive lower end.
+        assert len(bounds) == 7
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        for ratio in ratios:
+            assert ratio == pytest.approx(math.sqrt(10.0), rel=1e-6)
+
+    def test_strictly_increasing(self):
+        for bounds in (LATENCY_BUCKETS, SIZE_BUCKETS):
+            assert list(bounds) == sorted(set(bounds))
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 10.0, per_decade=0)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.current() == pytest.approx(3.5)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(1.0)
+        assert g.current() == pytest.approx(14.0)
+
+    def test_gauge_callback_wins(self):
+        state = {"depth": 7}
+        g = Gauge()
+        g.set(99.0)
+        g.set_function(lambda: state["depth"])
+        assert g.current() == 7.0
+        state["depth"] = 3
+        assert g.current() == 3.0
+
+
+class TestHistogram:
+    def test_value_on_bound_lands_in_that_bucket(self):
+        h = Histogram(bounds=(1.0, 10.0, 100.0))
+        h.observe(10.0)  # le=10 bucket, inclusive upper bound
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(1000.0)
+        assert h.counts[-1] == 1
+        assert h.cumulative() == [0, 0]
+        assert h.count == 1
+
+    def test_cumulative_le_semantics(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.7, 3.0):
+            h.observe(value)
+        assert h.cumulative() == [1, 3, 4]
+
+    def test_sum_count_max_mean(self):
+        h = Histogram(bounds=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.max == pytest.approx(3.0)
+        assert h.mean() == pytest.approx(2.0)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_quantiles_of_uniform_distribution(self):
+        """Estimates stay within one bucket of the true quantile."""
+        h = Histogram(bounds=log_buckets(1.0, 1e4, 4))
+        n = 10_000
+        for i in range(1, n + 1):  # uniform on (0, 10000]
+            h.observe(i)
+        for q in (0.25, 0.5, 0.9, 0.95, 0.99):
+            true = q * n
+            estimate = h.quantile(q)
+            # Log-scale buckets at 4/decade: adjacent bounds differ by
+            # 10^(1/4) ≈ 1.78, so the estimate must be within that
+            # relative factor of the true quantile.
+            assert true / 1.8 <= estimate <= true * 1.8, (q, estimate)
+
+    def test_quantiles_of_exponential_distribution(self):
+        import random
+
+        rng = random.Random(17)
+        h = Histogram(bounds=log_buckets(1e-4, 10.0, 4))
+        values = [rng.expovariate(1.0) for _ in range(5000)]
+        for value in values:
+            h.observe(value)
+        values.sort()
+        for q in (0.5, 0.95):
+            true = values[int(q * len(values)) - 1]
+            estimate = h.quantile(q)
+            assert true / 1.8 <= estimate <= true * 1.8, (q, estimate)
+
+    def test_quantile_above_all_buckets_returns_max(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(50.0)
+        h.observe(70.0)
+        assert h.quantile(0.99) == pytest.approx(70.0)
+
+
+class TestMetricFamily:
+    def test_children_cached_per_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "x", labels=("a", "b"))
+        child = family.labels("1", "2")
+        assert family.labels("1", "2") is child
+        assert family.labels(a="1", b="2") is child
+        assert len(family) == 1
+
+    def test_label_arity_enforced(self):
+        family = MetricsRegistry().counter("y_total", "y", labels=("a",))
+        with pytest.raises(ValueError):
+            family.labels("1", "2")
+        with pytest.raises(ValueError):
+            family.labels(b="1")
+        with pytest.raises(ValueError):
+            family.labels("1", a="1")
+
+    def test_unlabeled_convenience(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        registry.gauge("g").set(5)
+        registry.histogram("h_seconds").observe(0.5)
+        assert registry.get("c_total").labels().current() == 2.0
+        assert registry.get("g").labels().current() == 5.0
+        assert registry.get("h_seconds").labels().count == 1
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        registry = MetricsRegistry()
+        first = registry.counter("n_total", "n", labels=("k",))
+        again = registry.counter("n_total", "n", labels=("k",))
+        assert first is again
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total")
+        with pytest.raises(ValueError):
+            registry.gauge("m_total")
+        with pytest.raises(ValueError):
+            registry.counter("m_total", labels=("extra",))
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "help a", labels=("k",)).labels(
+            "v").inc(3)
+        registry.histogram("b_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        snap = registry.snapshot()
+        assert snap["a_total"]["kind"] == "counter"
+        assert snap["a_total"]["series"][0] == {
+            "labels": {"k": "v"}, "value": 3.0}
+        hist = snap["b_seconds"]["series"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"] == {"1.0": 0, "2.0": 1}
+        assert hist["p50"] > 1.0

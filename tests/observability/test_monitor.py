@@ -1,0 +1,122 @@
+"""The top-style monitor view: panels, frames, live rendering."""
+
+from repro.observability.health import HealthMonitor
+from repro.observability.instruments import EngineInstruments
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.monitor import _CLEAR, MonitorView, run_monitor
+from repro.observability.stats import StageStats
+
+
+def make_instruments() -> EngineInstruments:
+    instruments = EngineInstruments(MetricsRegistry())
+    instruments.tuples_in.inc(10)
+    instruments.sps_in.inc(2)
+    instruments.operator_latency.labels("shield", "SecurityShield"
+                                        ).observe(1e-5)
+    instruments.tuple_latency.labels("q").observe(2e-4)
+    instruments.propagation.labels("shield", "q").observe(5e-5)
+    instruments.shield_tuples.labels("shield", "q", "D", "pass").inc(7)
+    instruments.shield_tuples.labels("shield", "q", "D", "drop").inc(3)
+    instruments.denial_drops.labels("shield", "q").inc(2)
+    instruments.segment_size.labels("shield").observe(5)
+    instruments.sp_batch_size.observe(2)
+    instruments.spindex_entries.labels("join", "left",
+                                       "scanned").set(100)
+    instruments.spindex_entries.labels("join", "left", "skipped").set(40)
+    return instruments
+
+
+def stage_rows():
+    return [StageStats(
+        name="shield", kind="SecurityShield", tuples_in=10,
+        tuples_out=7, sps_in=2, sps_out=2, drops=3, comparisons=0,
+        state_ops=0, processing_time=0.001, ewma_seconds=1e-5,
+        queue_depth=0)]
+
+
+class TestPanels:
+    def test_frame_contains_every_panel(self):
+        view = MonitorView(make_instruments(), stages=stage_rows)
+        frame = view.render()
+        assert "repro monitor" in frame
+        assert "operators" in frame and "shield" in frame
+        assert "latency (seconds)" in frame
+        assert "propagation" in frame and "e2e tuple" in frame
+        assert "security" in frame
+        assert "segment tuples" in frame and "sp-batch sps" in frame
+        assert "spindex" in frame
+
+    def test_shield_panel_merges_verdicts(self):
+        view = MonitorView(make_instruments())
+        frame = view.render()
+        # pass and drop land on one row, with the denial column.
+        rows = [line.split() for line in frame.splitlines()]
+        assert ["shield", "q", "D", "7", "3", "2"] in rows
+
+    def test_skip_rate_is_ratio_of_gauges(self):
+        view = MonitorView(make_instruments())
+        frame = view.render()
+        row = next(line for line in frame.splitlines()
+                   if line.strip().startswith("join"))
+        assert row.split() == ["join", "left", "100", "40", "0.4"]
+
+    def test_totals_line(self):
+        view = MonitorView(make_instruments())
+        assert "elements: 10 tuples, 2 sps" in view.render()
+
+    def test_empty_instruments_render_minimal_frame(self):
+        view = MonitorView(EngineInstruments(MetricsRegistry()))
+        frame = view.render()
+        assert "repro monitor" in frame
+        assert "latency" not in frame
+
+    def test_health_panel_reports_alerts(self):
+        instruments = make_instruments()
+        instruments.mark_ingest(0.0)
+        health = HealthMonitor(instruments, stall_after=0.001,
+                               clock=lambda: 100.0)
+        view = MonitorView(instruments, health=health)
+        frame = view.render()
+        assert "[critical] stalled_stream" in frame
+
+    def test_health_panel_when_quiet(self):
+        instruments = EngineInstruments(MetricsRegistry())
+        health = HealthMonitor(instruments)
+        view = MonitorView(instruments, health=health)
+        assert "ok - no alerts" in view.render()
+
+
+class TestRunMonitor:
+    def test_renders_requested_frames(self):
+        view = MonitorView(make_instruments())
+        frames: list[str] = []
+        rendered = run_monitor(view, frames=3, interval=0,
+                               clear=False, write=frames.append)
+        assert rendered == 3
+        assert len(frames) == 3
+        assert view.frames_rendered == 3
+        assert not frames[0].startswith(_CLEAR)
+
+    def test_clear_mode_prefixes_ansi(self):
+        view = MonitorView(make_instruments())
+        frames: list[str] = []
+        run_monitor(view, frames=1, interval=0, clear=True,
+                    write=frames.append)
+        assert frames[0].startswith(_CLEAR)
+
+    def test_sleeps_between_frames_only(self):
+        view = MonitorView(make_instruments())
+        naps: list[float] = []
+        run_monitor(view, frames=3, interval=0.25, clear=False,
+                    write=lambda _: None, sleep=naps.append)
+        assert naps == [0.25, 0.25]
+
+    def test_keyboard_interrupt_exits_cleanly(self):
+        view = MonitorView(make_instruments())
+
+        def write(_):
+            raise KeyboardInterrupt
+
+        rendered = run_monitor(view, frames=5, interval=0,
+                               clear=False, write=write)
+        assert rendered == 0
