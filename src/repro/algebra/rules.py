@@ -70,6 +70,21 @@ class RewriteContext:
     #: Whether attribute-granularity sps may occur (guards the π/ψ
     #: commute; see module docstring).
     attribute_policies_possible: bool = False
+    #: Whether segments with differing policies may occur at runtime.
+    #: Guards the δ/ψ and G/ψ commutes: both operators keep *stateful*
+    #: output policies (dup-elim suppression state, ASG partitions)
+    #: built from every visible input tuple, so filtering before vs.
+    #: after the operator changes which duplicates are suppressed and
+    #: how subgroups merge whenever the stream interleaves disjoint
+    #: policies.  With a single uniform policy the commute is exact.
+    heterogeneous_policies_possible: bool = False
+    #: Whether join windows carry real time-based semantics.  Guards
+    #: Rule 5 (join associativity): re-association re-anchors window
+    #: checks on different intermediate timestamps, so
+    #: ``(T ⋈ E) ⋈ K`` and ``T ⋈ (E ⋈ K)`` can pair different tuples
+    #: unless windows are effectively unbounded.  Pure-algebra
+    #: exploration may leave this off; the executing engine sets it.
+    strict_join_windows: bool = False
     #: Stream schemas (stream id → attribute names), used by the
     #: classical selection-pushdown rule to decide which join side
     #: produces a condition's attributes.  Empty = unknown (pushdown
@@ -205,17 +220,37 @@ class CommuteProjectShield(_CommuteUnaryShield):
 
 
 class CommuteDupElimShield(_CommuteUnaryShield):
-    """Rule 2: δ(ψ_p(T)) ≡ ψ_p(δ(T))."""
+    """Rule 2: δ(ψ_p(T)) ≡ ψ_p(δ(T)), guarded.
+
+    δ's suppression state depends on every visible input tuple, so the
+    commute is only exact when segments cannot carry differing
+    policies (see :class:`RewriteContext`).
+    """
 
     name = "commute-dupelim-shield"
     unary_type = DupElimExpr
 
+    def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
+        if ctx.heterogeneous_policies_possible:
+            return False
+        return super().matches(expr, ctx)
+
 
 class CommuteGroupByShield(_CommuteUnaryShield):
-    """Rule 2: G(ψ_p(T)) ≡ ψ_p(G(T))."""
+    """Rule 2: G(ψ_p(T)) ≡ ψ_p(G(T)), guarded.
+
+    G's ASG partitions (and their union policies) depend on every
+    visible input tuple, so the commute is only exact when segments
+    cannot carry differing policies (see :class:`RewriteContext`).
+    """
 
     name = "commute-groupby-shield"
     unary_type = GroupByExpr
+
+    def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
+        if ctx.heterogeneous_policies_possible:
+            return False
+        return super().matches(expr, ctx)
 
 
 class PushShieldIntoBinary(Rule):
@@ -315,6 +350,8 @@ class AssociateJoin(Rule):
     name = "associate-join"
 
     def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
+        if ctx.strict_join_windows:
+            return False
         return (isinstance(expr, JoinExpr)
                 and isinstance(expr.left, JoinExpr))
 

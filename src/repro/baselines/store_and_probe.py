@@ -32,15 +32,20 @@ class _StoredPolicy:
 
     def __init__(self, sp: SecurityPunctuation):
         self.sp = sp
-        self.roles = RoleSet(sp.roles())
+        #: Granted roles for positive sps; ``None`` for negative sps
+        #: (denials are pattern-matched via the SRP, which also covers
+        #: wildcard-denial markers with non-enumerable role patterns).
+        self.roles = RoleSet(sp.roles()) if sp.is_positive else None
 
 
 class PolicyTable:
     """The central persistent policy store."""
 
     def __init__(self):
-        #: (stream key, tid) -> policy, for literal-tid policies.
-        self._exact: dict[tuple[str, object], _StoredPolicy] = {}
+        #: (stream key, tid) -> same-timestamp policies, for
+        #: literal-tid sps.  A list because one sp-batch (same ts) is
+        #: a single policy whose sps combine by union.
+        self._exact: dict[tuple[str, object], list[_StoredPolicy]] = {}
         #: Pattern-scoped policies, scanned on probe.
         self._patterns: list[_StoredPolicy] = []
         self.updates = 0
@@ -49,21 +54,37 @@ class PolicyTable:
 
     # -- updates ------------------------------------------------------------
     def store(self, sp: SecurityPunctuation) -> None:
-        """Insert or override a policy (newer timestamps win)."""
+        """Insert or override a policy (newer timestamps win).
+
+        Sps sharing a timestamp are one sp-batch — one policy — so an
+        equal-timestamp store *extends* the stored policy instead of
+        replacing it; a strictly newer one overrides.  Negative sps are
+        stored as denials, never as grants.
+        """
         self.updates += 1
         stored = _StoredPolicy(sp)
         exact_keys = self._exact_keys(sp)
         if exact_keys is not None:
             for key in exact_keys:
-                existing = self._exact.get(key)
-                if existing is None or sp.ts >= existing.sp.ts:
-                    self._exact[key] = stored
+                bucket = self._exact.get(key)
+                if bucket is None or sp.ts > bucket[0].sp.ts:
+                    self._exact[key] = [stored]
+                elif sp.ts == bucket[0].sp.ts:
+                    bucket.append(stored)
             return
-        for index, existing in enumerate(self._patterns):
-            if existing.sp.ddp == sp.ddp:
-                if sp.ts >= existing.sp.ts:
-                    self._patterns[index] = stored
-                return
+        same_ddp = [index for index, existing in enumerate(self._patterns)
+                    if existing.sp.ddp == sp.ddp]
+        if same_ddp:
+            # All same-DDP entries share one timestamp (older batches
+            # are wiped on override), so the first one is the batch ts.
+            current_ts = self._patterns[same_ddp[0]].sp.ts
+            if sp.ts > current_ts:
+                for index in reversed(same_ddp):
+                    del self._patterns[index]
+                self._patterns.append(stored)
+            elif sp.ts == current_ts:
+                self._patterns.append(stored)
+            return
         self._patterns.append(stored)
 
     @staticmethod
@@ -85,31 +106,47 @@ class PolicyTable:
 
     # -- probes ------------------------------------------------------------
     def probe(self, item: DataTuple) -> TuplePolicy:
-        """Effective policy of one tuple (denial-by-default)."""
+        """Effective policy of one tuple (denial-by-default).
+
+        The governing policy is the newest-timestamp set of applicable
+        sps (one sp-batch): its positive sps grant the union of their
+        roles, its negative sps subtract the roles they authorize.
+        """
         self.probes += 1
-        granted: AbstractRoleSet = RoleSet()
+        governing: list[_StoredPolicy] = []
         best_ts = float("-inf")
-        exact = self._exact.get((item.sid, str(item.tid)))
-        if exact is not None:
-            granted = exact.roles
-            best_ts = exact.sp.ts
+        bucket = self._exact.get((item.sid, str(item.tid)))
+        if bucket:
+            governing = list(bucket)
+            best_ts = bucket[0].sp.ts
         for stored in self._patterns:
             self.scan_steps += 1
             if not stored.sp.describes(item.sid, item.tid):
                 continue
             if stored.sp.ts > best_ts:
-                granted, best_ts = stored.roles, stored.sp.ts
+                governing, best_ts = [stored], stored.sp.ts
             elif stored.sp.ts == best_ts:
-                granted = granted.union(stored.roles)
-        return TuplePolicy(granted, ts=best_ts)
+                governing.append(stored)
+        granted: set[str] = set()
+        for stored in governing:
+            if stored.roles is not None:
+                granted |= stored.roles.names()
+        if granted:
+            for stored in governing:
+                if stored.roles is None:
+                    granted = {r for r in granted
+                               if not stored.sp.srp.authorizes(r)}
+        return TuplePolicy(RoleSet(granted), ts=best_ts)
 
     # -- accounting --------------------------------------------------------
     def policy_count(self) -> int:
-        return len(self._exact) + len(self._patterns)
+        return (sum(len(bucket) for bucket in self._exact.values())
+                + len(self._patterns))
 
     def stored_policies(self) -> Iterator[SecurityPunctuation]:
-        for stored in self._exact.values():
-            yield stored.sp
+        for bucket in self._exact.values():
+            for stored in bucket:
+                yield stored.sp
         for stored in self._patterns:
             yield stored.sp
 

@@ -48,19 +48,32 @@ def embed_policies(elements: Iterable[StreamElement], *,
     if bitmap and universe is None:
         universe = RoleUniverse()
     current_roles: frozenset[str] = frozenset()
-    current_ts = float("-inf")
+    batch: list[SecurityPunctuation] = []
     batch_ts: float | None = None
     for element in elements:
         if isinstance(element, SecurityPunctuation):
-            roles = element.roles()
             if batch_ts is not None and element.ts == batch_ts:
-                current_roles = current_roles | roles  # same batch: union
+                batch.append(element)  # same batch: one policy
             else:
-                current_roles = roles  # new policy: override
+                batch = [element]  # new policy: override
                 batch_ts = element.ts
-            current_ts = element.ts
             continue
-        batch_ts = None
+        if batch:
+            # Resolve the batch once per segment: positive sps grant
+            # the union of their roles, negative sps subtract the
+            # roles they authorize (denial-by-default otherwise).
+            granted: set[str] = set()
+            for sp in batch:
+                if sp.is_positive:
+                    granted |= sp.roles()
+            if granted:
+                for sp in batch:
+                    if not sp.is_positive:
+                        granted = {r for r in granted
+                                   if not sp.srp.authorizes(r)}
+            current_roles = frozenset(granted)
+            batch = []
+            batch_ts = None
         if bitmap:
             policy: AbstractRoleSet = RoleBitmap(universe, current_roles)
         else:

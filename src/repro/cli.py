@@ -31,6 +31,11 @@ Commands
     Replay the stream through a live session while rendering a
     top-style dashboard: operator throughput, latency percentiles,
     shield verdicts, policy-propagation lag and health alerts.
+``verify [--seed N] [--runs K] [--faults] [--replay FILE...]``
+    Differential verification: fuzz random scenarios, run every engine
+    configuration (element-wise/batched, NL/SPIndex join, optimizer
+    levels, baselines) against the reference oracle, optionally inject
+    sp faults, and shrink any mismatch to a minimal JSON reproducer.
 """
 
 from __future__ import annotations
@@ -351,6 +356,21 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 1 if critical else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.campaign import replay_cases, run_campaign
+
+    mismatches = 0
+    if args.replay:
+        result = replay_cases(list(args.replay), faults=args.faults)
+        mismatches += len(result.mismatches)
+    else:
+        result = run_campaign(seed=args.seed, runs=args.runs,
+                              faults=args.faults,
+                              save_failing=args.save_failing)
+        mismatches += len(result.mismatches)
+    return 1 if mismatches else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -433,6 +453,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stalled-stream alert threshold in "
                               "seconds")
     monitor.set_defaults(fn=_cmd_monitor)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification against the reference oracle")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="fuzz seed (default: 0)")
+    verify.add_argument("--runs", type=int, default=25,
+                        help="scenarios to generate (default: 25)")
+    verify.add_argument("--faults", action="store_true",
+                        help="also run the sp fault-injection campaign")
+    verify.add_argument("--replay", nargs="+", default=None, metavar="FILE",
+                        help="re-verify committed reproducer JSON files "
+                             "instead of fuzzing")
+    verify.add_argument("--save-failing", default=None, metavar="DIR",
+                        help="shrink failing scenarios and write minimal "
+                             "reproducers into DIR")
+    verify.set_defaults(fn=_cmd_verify)
     return parser
 
 

@@ -201,8 +201,16 @@ class DSMS:
             raise QueryError("no queries registered")
         plan = PhysicalPlan(self.universe)
         sinks: dict[str, CollectingSink] = {}
+        # The executing engine must assume the worst about runtime
+        # streams: attribute-granular sps, segments with differing
+        # policies and real window semantics can all occur, so the
+        # rewrites those facts invalidate stay off here (pure-algebra
+        # exploration can still opt back in via its own context).
         context = RewriteContext(
             policy_streams=self.catalog.policy_streams(),
+            attribute_policies_possible=True,
+            heterogeneous_policies_possible=True,
+            strict_join_windows=True,
             schemas={
                 sid: frozenset(self.catalog.get(sid).schema.attributes)
                 for sid in self.catalog.stream_ids()

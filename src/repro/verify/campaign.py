@@ -1,0 +1,116 @@
+"""The verification campaign: fuzz, diff, inject, shrink, persist.
+
+This is what ``repro verify`` runs.  Output is a deterministic
+transcript (no wall-clock, no environment) so two runs with the same
+seed are byte-identical — itself one of the properties the test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.verify.differ import verify_scenario
+from repro.verify.faults import run_fault_campaign
+from repro.verify.generator import Scenario, generate_scenario
+from repro.verify.shrink import load_case, save_case, shrink_scenario
+
+__all__ = ["CampaignResult", "run_campaign", "replay_cases", "shrink_failing"]
+
+Printer = Callable[[str], None]
+
+
+@dataclass
+class CampaignResult:
+    scenarios: int = 0
+    configs: int = 0
+    faults: int = 0
+    mismatches: list = field(default_factory=list)
+    #: (case name, reproducer path) for every shrunk failing scenario.
+    saved: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def shrink_failing(scenario: Scenario) -> Scenario:
+    """Minimize a scenario that fails plain differential verification."""
+    def failing(candidate: Scenario) -> bool:
+        return not verify_scenario(candidate).ok
+    return shrink_scenario(scenario, failing)
+
+
+def _check_scenario(scenario: Scenario, *, faults: bool, fault_rng_key: str,
+                    result: CampaignResult, emit: Printer,
+                    save_failing: str | None, case_name: str) -> None:
+    report = verify_scenario(scenario)
+    result.configs += report.configs_run
+    fault_outcome = None
+    if faults:
+        fault_outcome = run_fault_campaign(
+            scenario, random.Random(fault_rng_key))
+        result.faults += fault_outcome.faults_run
+    bad = list(report.mismatches)
+    if fault_outcome is not None:
+        bad.extend(fault_outcome.mismatches)
+    if not bad:
+        emit(f"  ok  {scenario.describe()} configs={report.configs_run}")
+        return
+    emit(f"  FAIL {scenario.describe()}")
+    for mismatch in bad:
+        emit(f"    {mismatch}")
+    result.mismatches.extend(bad)
+    if report.mismatches and save_failing is not None:
+        # Shrink only plain differential failures; fault campaigns
+        # re-randomize under reduction, so their raw scenario is saved.
+        small = shrink_failing(scenario)
+        path = save_case(small, save_failing, case_name)
+        result.saved.append((case_name, path))
+        emit(f"    shrunk to {small.element_count()} elements -> {path}")
+    elif save_failing is not None:
+        path = save_case(scenario, save_failing, case_name)
+        result.saved.append((case_name, path))
+        emit(f"    saved unshrunk -> {path}")
+
+
+def run_campaign(*, seed: int = 0, runs: int = 25, faults: bool = False,
+                 save_failing: str | None = None,
+                 emit: Printer = print) -> CampaignResult:
+    """Generate ``runs`` scenarios from ``seed`` and verify each."""
+    result = CampaignResult()
+    emit(f"== sp differential verification: seed={seed} runs={runs} "
+         f"faults={'on' if faults else 'off'}")
+    for index in range(runs):
+        result.scenarios += 1
+        emit(f"[{index + 1:3d}/{runs}]")
+        scenario = generate_scenario(seed, index)
+        _check_scenario(
+            scenario, faults=faults,
+            fault_rng_key=f"sp-verify-faults:{seed}:{index}",
+            result=result, emit=emit, save_failing=save_failing,
+            case_name=f"seed{seed}-index{index}")
+    emit(f"== {result.scenarios} scenarios, {result.configs} engine/baseline "
+         f"runs, {result.faults} fault injections, "
+         f"{len(result.mismatches)} mismatches")
+    return result
+
+
+def replay_cases(paths: "list[str]", *, faults: bool = False,
+                 emit: Printer = print) -> CampaignResult:
+    """Re-verify committed reproducer files."""
+    result = CampaignResult()
+    emit(f"== replaying {len(paths)} committed case(s)")
+    for path in paths:
+        result.scenarios += 1
+        emit(f"[case] {path}")
+        scenario = load_case(path)
+        _check_scenario(
+            scenario, faults=faults,
+            fault_rng_key=f"sp-verify-faults:case:{path}",
+            result=result, emit=emit, save_failing=None, case_name="")
+    emit(f"== {result.scenarios} case(s), {result.configs} engine/baseline "
+         f"runs, {len(result.mismatches)} mismatches")
+    return result

@@ -1,0 +1,180 @@
+"""Greedy minimization of failing scenarios.
+
+When the differ finds a mismatch, the raw scenario is noise: dozens of
+stream elements, nested plans, multiple queries.  :func:`shrink_scenario`
+reduces it while preserving the failure — delta-debugging over the
+scenario structure:
+
+1. drop whole queries (at least one must remain);
+2. simplify plans (replace any operator with one of its inputs,
+   dropping streams that become unreferenced);
+3. remove stream elements in shrinking chunks (ddmin), then one by one.
+
+Every candidate is re-checked with the caller's ``failing`` predicate,
+so the result is 1-minimal with respect to these operations: removing
+any single remaining element or plan node makes the failure disappear.
+Minimized cases serialize to JSON and are committed under
+``tests/verify/cases/`` as permanent regression tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator
+
+from repro.verify.generator import Scenario
+
+__all__ = ["shrink_scenario", "save_case", "load_case", "load_cases"]
+
+
+# -- plan helpers -------------------------------------------------------------
+
+def _plan_streams(spec: dict) -> set[str]:
+    if spec["op"] == "scan":
+        return {spec["stream"]}
+    out: set[str] = set()
+    for key in ("input", "left", "right"):
+        child = spec.get(key)
+        if child is not None:
+            out |= _plan_streams(child)
+    return out
+
+
+def _simplified_plans(spec: dict) -> Iterator[dict]:
+    """Every plan obtained by replacing one node with one of its inputs."""
+    for key in ("input", "left", "right"):
+        child = spec.get(key)
+        if child is None:
+            continue
+        yield child  # hoist the child over this node
+        for simplified in _simplified_plans(child):
+            copy = dict(spec)
+            copy[key] = simplified
+            yield copy
+
+
+# -- candidate generation -----------------------------------------------------
+
+def _without_query(scenario: Scenario, name: str) -> Scenario:
+    queries = {n: q for n, q in scenario.queries.items() if n != name}
+    candidate = scenario.with_queries(queries)
+    return _prune_streams(candidate)
+
+
+def _prune_streams(scenario: Scenario) -> Scenario:
+    """Drop streams no remaining plan scans."""
+    used: set[str] = set()
+    for query in scenario.queries.values():
+        used |= _plan_streams(query["plan"])
+    streams = {sid: spec for sid, spec in scenario.streams.items()
+               if sid in used}
+    return scenario.with_streams(streams)
+
+
+def _with_plan(scenario: Scenario, name: str, plan: dict) -> Scenario:
+    queries = dict(scenario.queries)
+    queries[name] = {"roles": queries[name]["roles"], "plan": plan}
+    return _prune_streams(scenario.with_queries(queries))
+
+
+def _without_elements(scenario: Scenario, sid: str,
+                      start: int, stop: int) -> Scenario:
+    streams = {s: dict(spec) for s, spec in scenario.streams.items()}
+    lines = list(streams[sid]["elements"])
+    del lines[start:stop]
+    streams[sid] = {"attributes": list(streams[sid]["attributes"]),
+                    "elements": lines}
+    return scenario.with_streams(streams)
+
+
+# -- the shrinker -------------------------------------------------------------
+
+def shrink_scenario(scenario: Scenario,
+                    failing: Callable[[Scenario], bool],
+                    max_rounds: int = 20) -> Scenario:
+    """Smallest scenario (under the steps above) that still fails.
+
+    ``failing`` must return ``True`` for ``scenario`` itself; candidate
+    evaluations that raise are treated as not failing (a crash from an
+    over-aggressive reduction must not hijack the shrink).
+    """
+
+    def still_fails(candidate: Scenario) -> bool:
+        if not candidate.queries or not candidate.streams:
+            return False
+        try:
+            return failing(candidate)
+        except Exception:  # noqa: BLE001 — invalid reductions are skipped
+            return False
+
+    current = scenario
+    for _ in range(max_rounds):
+        changed = False
+
+        # 1. Drop queries.
+        for name in list(current.queries):
+            if len(current.queries) <= 1:
+                break
+            candidate = _without_query(current, name)
+            if still_fails(candidate):
+                current, changed = candidate, True
+
+        # 2. Simplify plans.
+        for name in list(current.queries):
+            progress = True
+            while progress:
+                progress = False
+                for plan in _simplified_plans(current.queries[name]["plan"]):
+                    candidate = _with_plan(current, name, plan)
+                    if still_fails(candidate):
+                        current, changed, progress = candidate, True, True
+                        break
+
+        # 3. Remove stream elements, largest chunks first.
+        for sid in list(current.streams):
+            size = len(current.streams[sid]["elements"])
+            chunk = max(size // 2, 1)
+            while chunk >= 1:
+                start = 0
+                while start < len(current.streams[sid]["elements"]):
+                    stop = start + chunk
+                    candidate = _without_elements(current, sid, start, stop)
+                    if still_fails(candidate):
+                        current, changed = candidate, True
+                        # retry same offset: the next chunk slid left
+                    else:
+                        start = stop
+                chunk //= 2
+
+        if not changed:
+            break
+    return current
+
+
+# -- persistence --------------------------------------------------------------
+
+def save_case(scenario: Scenario, directory: str, name: str) -> str:
+    """Write a minimized reproducer to ``directory/name.json``."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(scenario.to_json())
+        handle.write("\n")
+    return path
+
+
+def load_case(path: str) -> Scenario:
+    """Load one committed reproducer case from its JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return Scenario.from_json(handle.read())
+
+
+def load_cases(directory: str) -> "list[tuple[str, Scenario]]":
+    """All committed cases in a directory, sorted by file name."""
+    if not os.path.isdir(directory):
+        return []
+    out = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".json"):
+            out.append((entry, load_case(os.path.join(directory, entry))))
+    return out

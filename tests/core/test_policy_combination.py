@@ -1,0 +1,137 @@
+"""Exhaustive small-domain tests of the policy combination semantics.
+
+Enumerates every sp-batch over a two-role universe and both signs and
+checks match/union/intersect/override and denial-by-default in
+:mod:`repro.core.policy` against a brute-force model.  The domains are
+tiny, so these tests cover the *whole* space rather than sampled
+points — any regression in the combination laws is caught exactly.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.bitmap import RoleSet
+from repro.core.policy import (EMPTY_POLICY, Policy, TuplePolicy, override,
+                               policy_from_sps)
+from repro.core.punctuation import SecurityPunctuation
+from repro.errors import PolicyError
+
+ROLES = ("R1", "R2")
+SID = "s"
+
+
+def sp(roles, ts, positive=True, provider="p"):
+    make = SecurityPunctuation.grant if positive else SecurityPunctuation.deny
+    return make(list(roles), ts, provider=provider)
+
+
+def all_batches(ts, max_size=2):
+    """Every batch of ≤ max_size signed sps over the two-role universe."""
+    parts = []
+    for roles in (("R1",), ("R2",), ("R1", "R2")):
+        for positive in (True, False):
+            parts.append((roles, positive))
+    batches = []
+    for size in range(1, max_size + 1):
+        for combo in itertools.product(parts, repeat=size):
+            batches.append(tuple(sp(r, ts, positive=p) for r, p in combo))
+    return batches
+
+
+def brute_force_roles(batch):
+    """Union the positives; if non-empty, subtract the negatives."""
+    granted = set()
+    for one in batch:
+        if one.is_positive:
+            granted |= one.roles()
+    if granted:
+        for one in batch:
+            if not one.is_positive:
+                granted -= {r for r in granted if one.srp.authorizes(r)}
+    return frozenset(granted)
+
+
+class TestBatchResolution:
+    def test_every_batch_matches_brute_force(self):
+        for batch in all_batches(1.0):
+            policy = Policy(batch)
+            expected = brute_force_roles(batch)
+            assert policy.authorized_roles(SID, 0) == expected, batch
+
+    def test_empty_batch_is_rejected(self):
+        with pytest.raises(PolicyError):
+            Policy(())
+
+    def test_denial_by_default_without_positive(self):
+        for roles in (("R1",), ("R2",), ("R1", "R2")):
+            policy = Policy((sp(roles, 1.0, positive=False),))
+            assert policy.authorized_roles(SID, 0) == frozenset()
+
+    def test_conflicting_signs_same_roles_deny(self):
+        policy = Policy((sp(("R1",), 1.0), sp(("R1",), 1.0, positive=False)))
+        assert policy.authorized_roles(SID, 0) == frozenset()
+
+
+class TestTuplePolicyAlgebra:
+    def subsets(self):
+        return [frozenset(c) for size in range(len(ROLES) + 1)
+                for c in itertools.combinations(ROLES, size)]
+
+    def test_intersect_union_difference_exhaustive(self):
+        for a_roles in self.subsets():
+            for b_roles in self.subsets():
+                a = TuplePolicy(a_roles, ts=1.0)
+                b = TuplePolicy(b_roles, ts=2.0)
+                assert set(a.intersect(b).roles.names()) \
+                    == set(a_roles & b_roles)
+                assert set(a.union(b).roles.names()) \
+                    == set(a_roles | b_roles)
+                assert set(a.difference(b).roles.names()) \
+                    == set(a_roles - b_roles)
+
+    def test_permits_any_exhaustive(self):
+        for roles in self.subsets():
+            policy = TuplePolicy(roles, ts=1.0)
+            for asked in self.subsets():
+                assert policy.permits_any(RoleSet(asked)) == bool(roles & asked)
+
+    def test_empty_policy_permits_nothing(self):
+        for asked in self.subsets():
+            assert not EMPTY_POLICY.permits_any(RoleSet(asked))
+
+
+class TestOverride:
+    def test_newer_always_wins_exhaustive(self):
+        for old_ts, new_ts in itertools.product((1.0, 2.0, 3.0), repeat=2):
+            old = TuplePolicy(frozenset({"R1"}), ts=old_ts)
+            new = TuplePolicy(frozenset({"R2"}), ts=new_ts)
+            winner = override(old, new)
+            if new_ts >= old_ts:  # equal ts: the refresh replaces
+                assert set(winner.roles.names()) == {"R2"}
+            else:
+                assert set(winner.roles.names()) == {"R1"}
+
+
+class TestPolicyFromSps:
+    def test_same_provider_same_ts_unions(self):
+        policy = policy_from_sps([sp(("R1",), 1.0), sp(("R2",), 1.0)])
+        assert policy.authorized_roles(SID, 0) == {"R1", "R2"}
+
+    def test_same_provider_newer_overrides(self):
+        policy = policy_from_sps([sp(("R1",), 1.0), sp(("R2",), 2.0)])
+        assert policy.authorized_roles(SID, 0) == {"R2"}
+
+    def test_distinct_providers_intersect(self):
+        policy = policy_from_sps([
+            sp(("R1", "R2"), 1.0, provider="alice"),
+            sp(("R2",), 1.0, provider="bob"),
+        ])
+        assert policy.authorized_roles(SID, 0) == {"R2"}
+
+    def test_provider_intersection_can_deny_everything(self):
+        policy = policy_from_sps([
+            sp(("R1",), 1.0, provider="alice"),
+            sp(("R2",), 1.0, provider="bob"),
+        ])
+        assert policy.authorized_roles(SID, 0) == frozenset()
