@@ -13,5 +13,19 @@ else
     echo "== ruff == (not installed; skipping lint)"
 fi
 
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy
+else
+    echo "== mypy == (not installed; skipping type check)"
+fi
+
+echo "== repo lint rules =="
+python scripts/lint_rules.py
+
+echo "== plan lint (static security analysis) =="
+PYTHONPATH=src python -m repro lint examples/plans/*.json \
+    tests/verify/cases/*.json
+
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q "$@"

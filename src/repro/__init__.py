@@ -24,10 +24,13 @@ Quickstart::
 
 from repro.algebra import (CostModel, JoinExpr, Optimizer, ProjectExpr,
                            ScanExpr, SelectExpr, ShieldExpr)
+from repro.analysis import (AnalysisReport, Diagnostic, Severity,
+                            analyze_expr, analyze_plan)
 from repro.core import (Policy, RoleSet, RoleUniverse, SecurityPunctuation,
                         Sign, SPAnalyzer, TuplePolicy)
 from repro.engine import DSMS, ContinuousQuery, OptimizeLevel, QueryResult
-from repro.errors import ReproError
+from repro.errors import (PlanAnalysisError, PlanAnalysisWarning,
+                          ReproError)
 from repro.observability import (AuditEvent, AuditLog, JsonlTraceSink,
                                  NullTraceSink, Observability,
                                  RingBufferTraceSink, StageStats, TraceSink)
@@ -38,12 +41,14 @@ from repro.stream import DataTuple, StreamSchema
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisReport",
     "AuditEvent",
     "AuditLog",
     "ContinuousQuery",
     "CostModel",
     "DSMS",
     "DataTuple",
+    "Diagnostic",
     "IndexSAJoin",
     "JoinExpr",
     "JsonlTraceSink",
@@ -52,6 +57,8 @@ __all__ = [
     "Observability",
     "OptimizeLevel",
     "Optimizer",
+    "PlanAnalysisError",
+    "PlanAnalysisWarning",
     "Policy",
     "Project",
     "ProjectExpr",
@@ -66,6 +73,7 @@ __all__ = [
     "SecurityShield",
     "Select",
     "SelectExpr",
+    "Severity",
     "ShieldExpr",
     "Sign",
     "StageStats",
@@ -73,4 +81,6 @@ __all__ = [
     "TraceSink",
     "TuplePolicy",
     "__version__",
+    "analyze_expr",
+    "analyze_plan",
 ]

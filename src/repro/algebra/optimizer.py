@@ -53,15 +53,20 @@ class WorkloadResult:
 class OptimizationResult:
     """Outcome of one optimization run."""
 
-    __slots__ = ("plan", "cost", "initial_cost", "steps", "explored")
+    __slots__ = ("plan", "cost", "initial_cost", "steps", "explored",
+                 "refusals")
 
     def __init__(self, plan: LogicalExpr, cost: float, initial_cost: float,
-                 steps: int, explored: int):
+                 steps: int, explored: int, refusals: tuple = ()):
         self.plan = plan
         self.cost = cost
         self.initial_cost = initial_cost
         self.steps = steps
         self.explored = explored
+        #: SEC004 diagnostics for structurally applicable rewrites the
+        #: fail-closed precondition prover refused (see
+        #: :func:`repro.analysis.rewrites.refused_rewrites`).
+        self.refusals = tuple(refusals)
 
     @property
     def improvement(self) -> float:
@@ -106,7 +111,20 @@ class Optimizer:
             current, current_cost = best, best_cost
             steps += 1
         return OptimizationResult(current, current_cost, initial_cost,
-                                  steps, explored)
+                                  steps, explored,
+                                  refusals=self.refused_rewrites(current))
+
+    def refused_rewrites(self, plan: LogicalExpr) -> tuple:
+        """SEC004 diagnostics for rewrites the context cannot prove.
+
+        The optimizer consults the static analyzer for every guarded
+        Table II rule: sites where the rule's shape matches but its
+        precondition is unknown or refuted stay un-rewritten
+        (fail-closed), and this reports each such refusal.
+        """
+        from repro.analysis.rewrites import refused_rewrites
+
+        return tuple(refused_rewrites(plan, self.context))
 
     # -- exhaustive closure -------------------------------------------------------
     def optimize_exhaustive(self, plan: LogicalExpr,

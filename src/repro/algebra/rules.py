@@ -21,8 +21,10 @@ preserves ``sid``/``tid`` (they are tuple metadata, not attributes),
 so the guard is only violated by *attribute-granularity* policies
 whose attribute patterns the projection could prune differently
 before vs. after the shield; :class:`CommuteProjectShield` therefore
-carries an ``attribute_policies_possible`` flag in the context,
-defaulting to safe.
+carries an ``attribute_policies_possible`` flag in the context.  All
+guard flags are three-valued and default to *unknown*, which fails
+closed: a precondition that cannot be proven absent (via
+:mod:`repro.analysis.rewrites`) refuses the rewrite.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from repro.algebra.expressions import (DupElimExpr, GroupByExpr,
                                        IntersectExpr, JoinExpr, LogicalExpr,
                                        ProjectExpr, ScanExpr, SelectExpr,
                                        ShieldExpr, UnionExpr, walk)
+from repro.analysis.rewrites import hazard_absent
 from repro.errors import OptimizerError
 
 __all__ = [
@@ -62,14 +65,23 @@ _BINARY = (JoinExpr, UnionExpr, IntersectExpr)
 
 @dataclass
 class RewriteContext:
-    """Facts about the environment the rules may rely on."""
+    """Facts about the environment the rules may rely on.
+
+    The three hazard flags are **three-valued**: ``False`` means the
+    hazard is *proven absent* (the guarded rewrite is admitted),
+    ``True`` means it is proven present, and ``None`` — the default —
+    means nothing is known.  Guarded rules consult
+    :mod:`repro.analysis.rewrites` and refuse the rewrite unless the
+    hazard is proven absent: an unknown precondition fails closed
+    instead of assuming safety.
+    """
 
     #: Stream ids that carry security punctuations.  Rule 3's one-sided
     #: push is only valid when the other side streams no policies.
     policy_streams: frozenset[str] = frozenset()
     #: Whether attribute-granularity sps may occur (guards the π/ψ
-    #: commute; see module docstring).
-    attribute_policies_possible: bool = False
+    #: commute; see module docstring).  ``None`` = unknown (refuse).
+    attribute_policies_possible: bool | None = None
     #: Whether segments with differing policies may occur at runtime.
     #: Guards the δ/ψ and G/ψ commutes: both operators keep *stateful*
     #: output policies (dup-elim suppression state, ASG partitions)
@@ -77,14 +89,17 @@ class RewriteContext:
     #: after the operator changes which duplicates are suppressed and
     #: how subgroups merge whenever the stream interleaves disjoint
     #: policies.  With a single uniform policy the commute is exact.
-    heterogeneous_policies_possible: bool = False
+    #: ``None`` = unknown (refuse).
+    heterogeneous_policies_possible: bool | None = None
     #: Whether join windows carry real time-based semantics.  Guards
     #: Rule 5 (join associativity): re-association re-anchors window
     #: checks on different intermediate timestamps, so
     #: ``(T ⋈ E) ⋈ K`` and ``T ⋈ (E ⋈ K)`` can pair different tuples
     #: unless windows are effectively unbounded.  Pure-algebra
-    #: exploration may leave this off; the executing engine sets it.
-    strict_join_windows: bool = False
+    #: exploration may opt in by proving the hazard absent (``False``);
+    #: the executing engine sets ``True``.  ``None`` = unknown
+    #: (refuse).
+    strict_join_windows: bool | None = None
     #: Stream schemas (stream id → attribute names), used by the
     #: classical selection-pushdown rule to decide which join side
     #: produces a condition's attributes.  Empty = unknown (pushdown
@@ -214,8 +229,8 @@ class CommuteProjectShield(_CommuteUnaryShield):
     unary_type = ProjectExpr
 
     def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
-        if ctx.attribute_policies_possible:
-            return False
+        if not hazard_absent(ctx.attribute_policies_possible):
+            return False  # fail closed: unproven precondition
         return super().matches(expr, ctx)
 
 
@@ -231,8 +246,8 @@ class CommuteDupElimShield(_CommuteUnaryShield):
     unary_type = DupElimExpr
 
     def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
-        if ctx.heterogeneous_policies_possible:
-            return False
+        if not hazard_absent(ctx.heterogeneous_policies_possible):
+            return False  # fail closed: unproven precondition
         return super().matches(expr, ctx)
 
 
@@ -248,8 +263,8 @@ class CommuteGroupByShield(_CommuteUnaryShield):
     unary_type = GroupByExpr
 
     def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
-        if ctx.heterogeneous_policies_possible:
-            return False
+        if not hazard_absent(ctx.heterogeneous_policies_possible):
+            return False  # fail closed: unproven precondition
         return super().matches(expr, ctx)
 
 
@@ -350,8 +365,8 @@ class AssociateJoin(Rule):
     name = "associate-join"
 
     def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
-        if ctx.strict_join_windows:
-            return False
+        if not hazard_absent(ctx.strict_join_windows):
+            return False  # fail closed: unproven precondition
         return (isinstance(expr, JoinExpr)
                 and isinstance(expr.left, JoinExpr))
 

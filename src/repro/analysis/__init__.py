@@ -1,0 +1,61 @@
+"""Static security-plan analysis (shield coverage, leaks, rewrites).
+
+The analyzer proves — before a single tuple flows — that every
+source→sink path of a plan crosses a Security Shield (SEC001), that no
+projection prunes an attribute-scoped sp-batch out from under
+downstream enforcement (SEC002), that no shield is dead weight
+(SEC003), that every Table II rewrite the optimizer considers has a
+*proven* precondition (SEC004, fail-closed), and that verify plan
+specs are internally consistent (SEC005).
+
+Entry points:
+
+* :func:`analyze_expr` — logical expressions (registration time);
+* :func:`analyze_plan` — compiled :class:`PhysicalPlan` DAGs
+  (compilation time, consulted by ``DSMS.build_plan``);
+* :func:`lint_file` / :func:`lint_scenario` — plan-spec and scenario
+  JSON (the ``repro lint`` CLI and the differential harness);
+* :mod:`repro.analysis.rewrites` — the precondition prover the
+  rewrite rules consult.
+"""
+
+from repro.analysis.diagnostics import (CATALOG, AnalysisReport,
+                                        Diagnostic, Severity)
+from repro.analysis.exprcheck import analyze_expr
+from repro.analysis.lattice import (PathState, StreamFacts, dominates,
+                                    join_states)
+from repro.analysis.plancheck import analyze_plan
+from repro.analysis.rewrites import (PRECONDITIONS, Precondition, Proof,
+                                     hazard_absent, hazard_sites,
+                                     proof_for, prove_absent,
+                                     refusal_reason, refused_rewrites)
+from repro.analysis.speclint import (facts_for_streams, lint_file,
+                                     lint_scenario, lint_scenario_object,
+                                     lint_spec)
+
+__all__ = [
+    "CATALOG",
+    "AnalysisReport",
+    "Diagnostic",
+    "PRECONDITIONS",
+    "PathState",
+    "Precondition",
+    "Proof",
+    "Severity",
+    "StreamFacts",
+    "analyze_expr",
+    "analyze_plan",
+    "dominates",
+    "facts_for_streams",
+    "hazard_absent",
+    "hazard_sites",
+    "join_states",
+    "lint_file",
+    "lint_scenario",
+    "lint_scenario_object",
+    "lint_spec",
+    "proof_for",
+    "prove_absent",
+    "refusal_reason",
+    "refused_rewrites",
+]

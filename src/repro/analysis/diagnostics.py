@@ -1,0 +1,157 @@
+"""Structured diagnostics emitted by the static security analyzer.
+
+Every check in :mod:`repro.analysis` reports its findings as
+:class:`Diagnostic` values collected into an :class:`AnalysisReport`.
+A diagnostic carries a stable code (``SEC001`` … ``SEC005``), a
+severity, the plan path of the offending node, a human-readable
+message and — where a mechanical remedy exists — a fix-it hint.
+
+The codes (see ``docs/ANALYSIS.md`` for the full catalog):
+
+========  ========================================================
+SEC001    source→sink path with no Security Shield on it
+SEC002    attribute-scoped sp-batch pruned upstream (leak widening)
+SEC003    dead/redundant shield dominated by an upstream shield
+SEC004    Table II rewrite precondition violated or unprovable
+SEC005    plan-spec / baseline inconsistency
+========  ========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "CATALOG",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+]
+
+#: One-line summary per diagnostic code.
+CATALOG: dict[str, str] = {
+    "SEC001": "unshielded source-to-sink path",
+    "SEC002": "attribute-scoped policy pruned upstream of enforcement",
+    "SEC003": "redundant shield dominated by an upstream shield",
+    "SEC004": "rewrite precondition violated or not provable",
+    "SEC005": "plan-spec or baseline inconsistency",
+}
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering reflects urgency."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        return cls[text.upper()]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    code: str
+    severity: Severity
+    #: Slash path of the offending node from the plan root, prefixed
+    #: with the query name when known (``"q0:shield/dupelim"``).
+    node_path: str
+    message: str
+    #: Mechanical remedy, when one exists.
+    fixit: str | None = None
+
+    def to_dict(self) -> dict:
+        data = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "node_path": self.node_path,
+            "message": self.message,
+        }
+        if self.fixit is not None:
+            data["fixit"] = self.fixit
+        return data
+
+    def __str__(self) -> str:
+        text = (f"{self.code} {self.severity.label} at {self.node_path}: "
+                f"{self.message}")
+        if self.fixit is not None:
+            text += f" (fix: {self.fixit})"
+        return text
+
+
+@dataclass
+class AnalysisReport:
+    """All diagnostics of one analysis run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, code: str, severity: Severity, node_path: str,
+            message: str, fixit: str | None = None) -> Diagnostic:
+        if code not in CATALOG:
+            raise ValueError(f"unknown diagnostic code: {code!r}")
+        diagnostic = Diagnostic(code, severity, node_path, message, fixit)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "AnalysisReport | Iterable[Diagnostic]") -> None:
+        if isinstance(other, AnalysisReport):
+            other = other.diagnostics
+        self.diagnostics.extend(other)
+
+    # -- selection ------------------------------------------------------
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings/infos allowed)."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    # -- rendering ------------------------------------------------------
+    def sorted(self) -> list[Diagnostic]:
+        """Most severe first, then by code and node path."""
+        return sorted(self.diagnostics,
+                      key=lambda d: (-d.severity, d.code, d.node_path))
+
+    def render_text(self, prefix: str = "") -> str:
+        lines = [f"{prefix}{diag}" for diag in self.sorted()]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

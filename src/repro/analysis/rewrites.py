@@ -1,0 +1,265 @@
+"""Rewrite-precondition proofs (Table II side conditions, SEC004).
+
+The guarded Table II rules — π/ψ, δ/ψ and G/ψ commutes, join
+re-association — are only equivalences under side conditions on the
+*streams* (no attribute-scoped sps, no heterogeneous-policy segments,
+no strict window semantics).  This module is the single authority on
+those preconditions:
+
+* :func:`prove_absent` turns a three-valued
+  :class:`~repro.algebra.rules.RewriteContext` hazard flag into a
+  :class:`Proof`; :func:`hazard_absent` is the fail-closed boolean the
+  rules consult — an *unknown* flag refuses the rewrite rather than
+  assuming safety.
+* :func:`refused_rewrites` reports every structurally applicable but
+  unproven rewrite site of a plan as a SEC004 diagnostic (used by the
+  optimizer to explain what it declined and why).
+* :func:`hazard_sites` flags rewrite sites whose precondition is
+  *provably violated* by concrete :class:`StreamFacts` — the static
+  form of the unsoundness PR 4's differential harness found
+  dynamically (``dupelim-shield-commute.json``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.algebra.expressions import (DupElimExpr, GroupByExpr,
+                                       IntersectExpr, JoinExpr, LogicalExpr,
+                                       ProjectExpr, ScanExpr, SelectExpr,
+                                       ShieldExpr, UnionExpr, walk)
+from repro.analysis.diagnostics import (AnalysisReport, Diagnostic,
+                                        Severity)
+from repro.analysis.lattice import StreamFacts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.algebra.rules import RewriteContext
+
+__all__ = [
+    "PRECONDITIONS",
+    "Precondition",
+    "Proof",
+    "expr_label",
+    "hazard_absent",
+    "hazard_sites",
+    "iter_paths",
+    "precondition_for",
+    "proof_for",
+    "prove_absent",
+    "refusal_reason",
+    "refused_rewrites",
+]
+
+
+class Proof(enum.Enum):
+    """Outcome of trying to prove a rewrite precondition."""
+
+    #: The hazard is proven absent: the rewrite is sound.
+    PROVEN = "proven"
+    #: The hazard is proven present: the rewrite is unsound here.
+    REFUTED = "refuted"
+    #: Nothing is known; fail closed (refuse the rewrite).
+    UNKNOWN = "unknown"
+
+
+def prove_absent(flag: "bool | None") -> Proof:
+    """Interpret a three-valued hazard flag.
+
+    ``False`` (hazard proven absent) → PROVEN, ``True`` (hazard
+    proven present) → REFUTED, ``None`` (unknown) → UNKNOWN.
+    """
+    if flag is False:
+        return Proof.PROVEN
+    if flag is True:
+        return Proof.REFUTED
+    return Proof.UNKNOWN
+
+
+def hazard_absent(flag: "bool | None") -> bool:
+    """Fail-closed guard: only a *proven-absent* hazard admits a rewrite."""
+    return prove_absent(flag) is Proof.PROVEN
+
+
+@dataclass(frozen=True)
+class Precondition:
+    """The side condition one guarded Table II rule depends on."""
+
+    rule_name: str
+    #: :class:`RewriteContext` attribute holding the hazard flag.
+    flag: str
+    #: What must be absent for the rewrite to be sound.
+    hazard: str
+
+
+PRECONDITIONS: tuple[Precondition, ...] = (
+    Precondition("commute-project-shield", "attribute_policies_possible",
+                 "attribute-scoped sps the projection could prune "
+                 "differently before vs. after the shield"),
+    Precondition("commute-dupelim-shield", "heterogeneous_policies_possible",
+                 "segments with differing policies feeding the stateful "
+                 "duplicate-elimination"),
+    Precondition("commute-groupby-shield", "heterogeneous_policies_possible",
+                 "segments with differing policies feeding the stateful "
+                 "group-by partitions"),
+    Precondition("associate-join", "strict_join_windows",
+                 "real window semantics that re-association would "
+                 "re-anchor on different intermediate timestamps"),
+)
+
+_BY_RULE = {p.rule_name: p for p in PRECONDITIONS}
+
+
+def precondition_for(rule_name: str) -> "Precondition | None":
+    """The side condition guarding ``rule_name`` (None if unguarded)."""
+    return _BY_RULE.get(rule_name)
+
+
+def proof_for(rule_name: str, ctx: "RewriteContext") -> Proof:
+    """Prove one rule's precondition against a rewrite context."""
+    precondition = _BY_RULE.get(rule_name)
+    if precondition is None:
+        return Proof.PROVEN  # unguarded rule: no side condition
+    return prove_absent(getattr(ctx, precondition.flag))
+
+
+def refusal_reason(rule_name: str,
+                   ctx: "RewriteContext") -> "str | None":
+    """Why a rule application is refused, or ``None`` if admitted."""
+    proof = proof_for(rule_name, ctx)
+    if proof is Proof.PROVEN:
+        return None
+    precondition = _BY_RULE[rule_name]
+    state = ("proven present" if proof is Proof.REFUTED
+             else "not provable (flag unset)")
+    return (f"{rule_name} refused fail-closed: hazard "
+            f"'{precondition.hazard}' is {state}")
+
+
+# -- plan-shape walking -------------------------------------------------------
+
+def expr_label(expr: LogicalExpr) -> str:
+    """Short node label used in diagnostic paths."""
+    if isinstance(expr, ScanExpr):
+        return f"scan[{expr.stream_id}]"
+    for cls, label in ((ShieldExpr, "shield"), (SelectExpr, "select"),
+                       (ProjectExpr, "project"), (DupElimExpr, "dupelim"),
+                       (GroupByExpr, "groupby"), (JoinExpr, "join"),
+                       (UnionExpr, "union"), (IntersectExpr, "intersect")):
+        if isinstance(expr, cls):
+            return label
+    return type(expr).__name__.lower()
+
+
+def iter_paths(expr: LogicalExpr,
+               root: str = "plan") -> Iterator[tuple[str, LogicalExpr]]:
+    """Yield ``(path, node)`` pairs in pre-order."""
+    path = f"{root}/{expr_label(expr)}"
+    yield path, expr
+    for child in expr.children():
+        yield from iter_paths(child, path)
+
+
+def _guarded_sites(
+        expr: LogicalExpr,
+        root: str) -> Iterator[tuple[str, str, LogicalExpr]]:
+    """``(rule name, path, node)`` for guarded-rule shapes in a plan."""
+    stateful = {DupElimExpr: "commute-dupelim-shield",
+                GroupByExpr: "commute-groupby-shield"}
+    for path, node in iter_paths(expr, root):
+        if isinstance(node, ShieldExpr):
+            inner = node.input
+            if isinstance(inner, ProjectExpr):
+                yield "commute-project-shield", path, node
+            for cls, rule in stateful.items():
+                if isinstance(inner, cls):
+                    yield rule, path, node
+        elif isinstance(node, (ProjectExpr, DupElimExpr, GroupByExpr)):
+            (child,) = node.children()
+            if isinstance(child, ShieldExpr):
+                if isinstance(node, ProjectExpr):
+                    yield "commute-project-shield", path, node
+                else:
+                    yield stateful[type(node)], path, node
+        if isinstance(node, JoinExpr) and isinstance(node.left, JoinExpr):
+            yield "associate-join", path, node
+
+
+def refused_rewrites(expr: LogicalExpr, ctx: "RewriteContext",
+                     root: str = "plan") -> list[Diagnostic]:
+    """SEC004 diagnostics for structurally applicable, unproven rewrites.
+
+    These are sites where a guarded Table II rule *would* match but the
+    context cannot prove its precondition, so the fail-closed guard
+    keeps it off.  Severity is informational: refusing is the correct
+    behaviour; the diagnostic only explains the optimizer's choice.
+    """
+    diagnostics: list[Diagnostic] = []
+    seen: set[tuple[str, str]] = set()
+    for rule_name, path, _node in _guarded_sites(expr, root):
+        if (rule_name, path) in seen:
+            continue
+        seen.add((rule_name, path))
+        reason = refusal_reason(rule_name, ctx)
+        if reason is None:
+            continue
+        diagnostics.append(Diagnostic(
+            "SEC004", Severity.INFO, path, reason,
+            fixit="prove the precondition (set the context flag to "
+                  "False) to admit the rewrite"))
+    return diagnostics
+
+
+def hazard_sites(expr: LogicalExpr, facts: StreamFacts,
+                 root: str = "plan") -> AnalysisReport:
+    """SEC004 findings where stream facts *refute* a precondition.
+
+    Unlike :func:`refused_rewrites` (which reports what the optimizer
+    declined), these sites are adjacent shield/operator pairs whose
+    commute is provably unsound for the concrete streams — the shape
+    class behind ``dupelim-shield-commute.json``.  The fail-closed
+    guards keep the optimizer from making it worse, hence warnings,
+    not errors.
+    """
+    report = AnalysisReport()
+    if not facts.known:
+        return report
+    for rule_name, path, node in _guarded_sites(expr, root):
+        streams = frozenset(n.stream_id for n in walk(node)
+                            if isinstance(n, ScanExpr))
+        if rule_name in ("commute-dupelim-shield",
+                         "commute-groupby-shield"):
+            if facts.heterogeneous(streams):
+                stateful = ("duplicate-elimination"
+                            if "dupelim" in rule_name else "group-by")
+                report.add(
+                    "SEC004", Severity.WARNING, path,
+                    f"shield adjacent to stateful {stateful} over "
+                    f"stream(s) {sorted(streams)} that interleave "
+                    f"differing policies; commuting them changes "
+                    f"which tuples the stateful operator sees "
+                    f"({rule_name} precondition refuted)",
+                    fixit="keep the shield placement fixed (the "
+                          "fail-closed optimizer guard already "
+                          "refuses this commute)")
+        elif rule_name == "commute-project-shield":
+            governed = facts.governed_attributes(streams)
+            if governed:
+                report.add(
+                    "SEC004", Severity.WARNING, path,
+                    f"shield adjacent to a projection over stream(s) "
+                    f"{sorted(streams)} carrying attribute-scoped sps "
+                    f"for {sorted(governed)}; commuting changes which "
+                    f"sp-batches the projection prunes "
+                    f"({rule_name} precondition refuted)",
+                    fixit="keep the shield placement fixed (the "
+                          "fail-closed optimizer guard already "
+                          "refuses this commute)")
+        elif rule_name == "associate-join":
+            report.add(
+                "SEC004", Severity.INFO, path,
+                "nested join: re-association is refused under strict "
+                "window semantics (associate-join precondition "
+                "unprovable for timed windows)")
+    return report

@@ -1,0 +1,274 @@
+"""Linting of plan-spec / scenario JSON files (``repro lint``).
+
+Two file shapes are understood:
+
+* a **scenario** (the :mod:`repro.verify` interchange format): a JSON
+  object with ``streams`` (wire-format element lines per stream) and
+  ``queries`` (roles + plan spec per query).  Stream contents are
+  decoded into concrete :class:`StreamFacts`, so every fact-dependent
+  check (SEC002/SEC004) runs with proven facts; queries are analyzed
+  with the delivery backstop assumed (the DSMS always appends it).
+* a **bare plan spec**: a JSON object whose root carries an ``op``
+  key.  No streams are available, so facts stay unknown and SEC001 is
+  an error when the plan carries no shield (nothing guarantees a
+  delivery backstop for a free-standing plan).
+
+SEC005 covers the spec-consistency layer: unknown operators, scans of
+undeclared streams, empty shield conjuncts, references to attributes
+the schema cannot produce, and baseline-relevant facts (negative-sign
+sps in baseline-compatible scenarios).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.analysis.diagnostics import AnalysisReport, Severity
+from repro.analysis.exprcheck import analyze_expr
+from repro.analysis.lattice import StreamFacts
+from repro.errors import ReproError
+
+__all__ = [
+    "facts_for_streams",
+    "lint_file",
+    "lint_scenario",
+    "lint_scenario_object",
+    "lint_spec",
+]
+
+#: Required child/field keys per plan-spec operator.
+_OP_FIELDS: dict[str, tuple[str, ...]] = {
+    "scan": ("stream",),
+    "shield": ("input", "predicates"),
+    "select": ("input", "condition"),
+    "project": ("input", "attributes"),
+    "dupelim": ("input", "window"),
+    "groupby": ("input", "agg", "attribute", "window"),
+    "join": ("left", "right", "left_on", "right_on", "window"),
+}
+
+
+def facts_for_streams(
+        streams: Mapping[str, Mapping[str, Any]]) -> StreamFacts:
+    """Decode a scenario's wire-format streams into concrete facts."""
+    from repro.stream.wire import decode_element
+
+    decoded = {}
+    schemas = {}
+    for sid, spec in streams.items():
+        schemas[sid] = tuple(spec.get("attributes", ()))
+        decoded[sid] = [decode_element(line)
+                        for line in spec.get("elements", ())]
+    return StreamFacts.from_elements(decoded, schemas)
+
+
+def _check_spec(spec: Any, path: str, schemas: Mapping[str, tuple],
+                report: AnalysisReport) -> "frozenset | None":
+    """SEC005 structural checks; returns the spec's output attributes."""
+    if not isinstance(spec, dict) or "op" not in spec:
+        report.add("SEC005", Severity.ERROR, path,
+                   "plan spec node is not an object with an 'op' key")
+        return None
+    op = spec["op"]
+    fields = _OP_FIELDS.get(op)
+    if fields is None:
+        report.add("SEC005", Severity.ERROR, path,
+                   f"unknown plan operator {op!r}",
+                   fixit=f"one of {sorted(_OP_FIELDS)}")
+        return None
+    here = f"{path}/{op}"
+    missing = [key for key in fields if spec.get(key) is None]
+    if missing:
+        report.add("SEC005", Severity.ERROR, here,
+                   f"{op} spec is missing required field(s) {missing}")
+        return None
+    children = {}
+    for key in ("input", "left", "right"):
+        if key in fields:
+            children[key] = _check_spec(spec[key], here, schemas, report)
+    if op == "scan":
+        sid = spec["stream"]
+        if sid not in schemas:
+            report.add("SEC005", Severity.ERROR, here,
+                       f"scan of undeclared stream {sid!r}",
+                       fixit=f"declare {sid!r} under 'streams' "
+                             f"(known: {sorted(schemas)})")
+            return None
+        return frozenset(schemas[sid])
+    if op == "shield":
+        predicates = spec["predicates"]
+        if (not isinstance(predicates, list) or not predicates
+                or any(not conjunct for conjunct in predicates)):
+            report.add(
+                "SEC005", Severity.ERROR, here,
+                "shield predicates must be a non-empty list of "
+                "non-empty role lists (an empty conjunct authorizes "
+                "no role and drops everything)")
+        return children["input"]
+    attrs = children.get("input")
+    if op == "select":
+        condition = spec["condition"]
+        ref = (condition.get("attribute")
+               if isinstance(condition, dict) else None)
+        if ref is not None and attrs is not None and ref not in attrs:
+            report.add("SEC005", Severity.ERROR, here,
+                       f"selection references attribute {ref!r} not "
+                       f"produced by its input (has {sorted(attrs)})")
+        return attrs
+    if op == "project":
+        kept = spec["attributes"]
+        if not kept:
+            report.add("SEC005", Severity.ERROR, here,
+                       "projection keeps no attributes")
+            return frozenset()
+        if attrs is not None:
+            unknown = [a for a in kept if a not in attrs]
+            if unknown:
+                report.add(
+                    "SEC005", Severity.ERROR, here,
+                    f"projection keeps attribute(s) {unknown} not "
+                    f"produced by its input (has {sorted(attrs)})")
+        return frozenset(kept)
+    if op == "dupelim":
+        return attrs
+    if op == "groupby":
+        for key in ("key", "attribute"):
+            ref = spec.get(key)
+            if ref is not None and attrs is not None and ref not in attrs:
+                report.add(
+                    "SEC005", Severity.ERROR, here,
+                    f"group-by {key} {ref!r} not produced by its "
+                    f"input (has {sorted(attrs)})")
+        kept = [spec["attribute"]]
+        if spec.get("key") is not None:
+            kept.append(spec["key"])
+        return frozenset(kept)
+    # join: left_on/right_on must come from the matching side.
+    for key, side in (("left_on", "left"), ("right_on", "right")):
+        side_attrs = children.get(side)
+        ref = spec[key]
+        if side_attrs is not None and ref not in side_attrs:
+            report.add(
+                "SEC005", Severity.ERROR, here,
+                f"join {key} {ref!r} not produced by its {side} "
+                f"input (has {sorted(side_attrs)})")
+    return None  # join output renames clashes: unknown
+
+
+def lint_spec(spec: dict, *, name: str = "plan",
+              schemas: "Mapping[str, tuple] | None" = None,
+              facts: "StreamFacts | None" = None,
+              roles: "list | None" = None,
+              assume_delivery: bool = False) -> AnalysisReport:
+    """Lint one bare plan spec (structure + dataflow analysis)."""
+    report = AnalysisReport()
+    known = dict(schemas) if schemas is not None else {}
+    if schemas is None:
+        known = _implied_schemas(spec)
+    _check_spec(spec, name, known, report)
+    if not report.ok:
+        return report  # structure broken: dataflow would mislead
+    from repro.verify.differ import expr_from_spec
+
+    try:
+        expr = expr_from_spec(spec)
+    except (ReproError, ValueError, KeyError, TypeError) as exc:
+        report.add("SEC005", Severity.ERROR, name,
+                   f"plan spec does not compile: {exc}")
+        return report
+    report.extend(analyze_expr(
+        expr, facts=facts, roles=roles,
+        assume_delivery=assume_delivery, name=name))
+    return report
+
+
+def _implied_schemas(spec: Any) -> dict:
+    """Treat every scanned stream of a bare spec as declared."""
+    schemas: dict = {}
+    if isinstance(spec, dict):
+        if spec.get("op") == "scan" and "stream" in spec:
+            schemas[spec["stream"]] = ()
+        for key in ("input", "left", "right"):
+            schemas.update(_implied_schemas(spec.get(key)))
+    return schemas
+
+
+def lint_scenario(data: Any, *, name: str = "scenario") -> AnalysisReport:
+    """Lint one verify scenario (streams + queries)."""
+    if not isinstance(data, dict):
+        report = AnalysisReport()
+        report.add("SEC005", Severity.ERROR, name,
+                   "scenario is not a JSON object")
+        return report
+    if hasattr(data, "streams") and hasattr(data, "queries"):
+        streams, queries = data.streams, data.queries  # Scenario object
+    else:
+        streams = data.get("streams", {})
+        queries = data.get("queries", {})
+    report = AnalysisReport()
+    if not isinstance(streams, dict) or not isinstance(queries, dict):
+        report.add("SEC005", Severity.ERROR, name,
+                   "scenario needs 'streams' and 'queries' objects")
+        return report
+    try:
+        facts = facts_for_streams(streams)
+    except (ReproError, ValueError, KeyError) as exc:
+        report.add("SEC005", Severity.ERROR, f"{name}:streams",
+                   f"stream elements do not decode: {exc}")
+        return report
+    schemas = {sid: tuple(spec.get("attributes", ()))
+               for sid, spec in streams.items()}
+    if facts.negative_streams and _baseline_shape(streams, queries):
+        report.add(
+            "SEC005", Severity.INFO, f"{name}:streams",
+            f"baseline-compatible scenario carries negative-sign sps "
+            f"on stream(s) {sorted(facts.negative_streams)}; baseline "
+            "comparisons must use sign-aware policy stores")
+    for qname, query in queries.items():
+        qpath = f"{name}:{qname}"
+        if not isinstance(query, dict) or "plan" not in query:
+            report.add("SEC005", Severity.ERROR, qpath,
+                       "query needs a 'plan' spec")
+            continue
+        roles = query.get("roles") or []
+        if not roles:
+            report.add("SEC005", Severity.ERROR, qpath,
+                       "query has no roles; every query specifier "
+                       "must belong to at least one role")
+        report.extend(lint_spec(
+            query["plan"], name=qpath, schemas=schemas, facts=facts,
+            roles=list(roles), assume_delivery=True))
+    return report
+
+
+def _baseline_shape(streams: Mapping, queries: Mapping) -> bool:
+    """Single stream, pure-scan plans — what the baselines can run."""
+    if len(streams) != 1:
+        return False
+    return all(isinstance(q, dict)
+               and isinstance(q.get("plan"), dict)
+               and q["plan"].get("op") == "scan"
+               for q in queries.values())
+
+
+def lint_scenario_object(scenario: Any) -> AnalysisReport:
+    """Lint a :class:`repro.verify.generator.Scenario` instance."""
+    return lint_scenario(
+        {"streams": scenario.streams, "queries": scenario.queries},
+        name=getattr(scenario, "describe", lambda: "scenario")())
+
+
+def lint_file(path: str) -> AnalysisReport:
+    """Lint one JSON file (scenario or bare plan spec)."""
+    report = AnalysisReport()
+    try:
+        with open(path, encoding="utf-8") as fp:
+            data = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        report.add("SEC005", Severity.ERROR, path,
+                   f"cannot load JSON: {exc}")
+        return report
+    if isinstance(data, dict) and "op" in data:
+        return lint_spec(data, name="plan")
+    return lint_scenario(data, name="scenario")

@@ -22,6 +22,7 @@ stored server-side).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.access.rbac import RBACModel
@@ -29,6 +30,10 @@ from repro.algebra.expressions import LogicalExpr, ShieldExpr, walk
 from repro.algebra.optimizer import Optimizer
 from repro.algebra.rules import RewriteContext
 from repro.algebra.statistics import StreamStatistics
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.exprcheck import analyze_expr
+from repro.analysis.lattice import StreamFacts
+from repro.analysis.plancheck import analyze_plan
 from repro.core.analyzer import SPAnalyzer
 from repro.core.bitmap import RoleSet, RoleUniverse
 from repro.core.punctuation import SecurityPunctuation
@@ -37,7 +42,7 @@ from repro.engine.catalog import StreamCatalog
 from repro.engine.executor import ExecutionReport, Executor
 from repro.engine.plan import PhysicalPlan
 from repro.engine.query import ContinuousQuery
-from repro.errors import QueryError
+from repro.errors import PlanAnalysisError, PlanAnalysisWarning, QueryError
 from repro.observability import AuditLog, Observability
 from repro.operators.shield import SecurityShield
 from repro.operators.sink import CollectingSink
@@ -116,15 +121,25 @@ class DSMS:
     # -- queries ---------------------------------------------------------
     def register_query(self, name: str, expr: LogicalExpr, *,
                        roles=None, user_id: str | None = None,
-                       auto_shield: bool = True) -> ContinuousQuery:
+                       auto_shield: bool = True,
+                       analyze: str = "off") -> ContinuousQuery:
         """Register a continuous query for a set of roles or a user.
 
         With ``user_id`` (requires an RBAC model) the query inherits
         the user's active roles and the user is locked against role
         re-assignment for the lifetime of the registration.
+
+        ``analyze`` selects static plan analysis: ``"off"`` (default),
+        ``"warn"`` (findings emitted as :class:`PlanAnalysisWarning`),
+        or ``"strict"`` (error-severity findings raise
+        :class:`PlanAnalysisError` and the query is *not* registered —
+        rejection happens before a single tuple flows).  The chosen
+        mode also re-runs the analysis over the compiled operator DAG
+        at :meth:`build_plan` time.
         """
         if name in self.queries:
             raise QueryError(f"query {name!r} already registered")
+        locked = False
         if roles is None:
             if user_id is None or self.rbac is None:
                 raise QueryError(
@@ -134,13 +149,48 @@ class DSMS:
             if session is not None:
                 roles = session.active_roles
             self.rbac.lock(user_id)
+            locked = True
         for role in roles:
             self.universe.register(role)
         query = ContinuousQuery(name, expr, roles, user_id=user_id,
-                                auto_shield=auto_shield)
+                                auto_shield=auto_shield, analyze=analyze)
+        if query.analyze != "off":
+            report = analyze_expr(
+                query.expr, facts=self._stream_facts(),
+                roles=sorted(query.roles), name=name)
+            try:
+                self._apply_analysis(report, query.analyze,
+                                     where=f"query {name!r}")
+            except PlanAnalysisError:
+                if locked and self.rbac is not None:
+                    self.rbac.unlock(user_id)
+                raise
         self.queries[name] = query
         self._live_plan = None
         return query
+
+    def _stream_facts(self) -> StreamFacts:
+        """Catalog schemas as (otherwise-unknown) static stream facts.
+
+        Stream *contents* are runtime data the static layer must not
+        assume, so the facts stay three-valued unknown; the declared
+        schemas alone let the lattice track attribute sets.
+        """
+        return StreamFacts(schemas={
+            sid: tuple(self.catalog.get(sid).schema.attributes)
+            for sid in self.catalog.stream_ids()})
+
+    def _apply_analysis(self, report: AnalysisReport, mode: str,
+                        where: str) -> None:
+        """Enforce one analysis report per the registration's mode."""
+        if mode == "strict" and not report.ok:
+            raise PlanAnalysisError(
+                f"{where}: static analysis found "
+                f"{len(report.errors)} error(s):\n"
+                + report.render_text("  "), report)
+        for diagnostic in report.errors + report.warnings:
+            warnings.warn(f"{where}: {diagnostic}",
+                          PlanAnalysisWarning, stacklevel=3)
 
     def deregister_query(self, name: str) -> None:
         query = self.queries.pop(name, None)
@@ -263,6 +313,15 @@ class DSMS:
         if instruments is not None:
             for operator in plan.operators():
                 operator.bind_metrics(instruments)
+        modes = {query.analyze for query in self.queries.values()}
+        if modes != {"off"}:
+            # Second analysis layer: the compiled DAG, where shared
+            # subplans, optimizer rewrites and the delivery shields
+            # are all concrete.
+            mode = "strict" if "strict" in modes else "warn"
+            self._apply_analysis(analyze_plan(plan,
+                                              facts=self._stream_facts()),
+                                 mode, where="compiled plan")
         self._live_plan = plan
         return plan, sinks
 

@@ -19,10 +19,14 @@ __all__ = ["ContinuousQuery"]
 class ContinuousQuery:
     """One registered continuous query."""
 
+    #: Valid static-analysis modes for a registration.
+    ANALYZE_MODES = ("off", "warn", "strict")
+
     def __init__(self, name: str, expr: LogicalExpr,
                  roles: frozenset[str] | set[str] | tuple | list,
                  *, user_id: str | None = None,
-                 auto_shield: bool = True):
+                 auto_shield: bool = True,
+                 analyze: str = "off"):
         if not name:
             raise QueryError("query requires a name")
         roles = frozenset(roles)
@@ -31,9 +35,14 @@ class ContinuousQuery:
                 f"query {name!r} has no roles; every query specifier "
                 "must belong to at least one role"
             )
+        if analyze not in self.ANALYZE_MODES:
+            raise QueryError(
+                f"query {name!r}: analyze={analyze!r} is not one of "
+                f"{self.ANALYZE_MODES}")
         self.name = name
         self.roles = roles
         self.user_id = user_id
+        self.analyze = analyze
         if auto_shield and not self._has_shield(expr):
             expr = ShieldExpr(expr, roles)
         self.expr = expr
@@ -48,6 +57,7 @@ class ContinuousQuery:
         clone.name = self.name
         clone.roles = self.roles
         clone.user_id = self.user_id
+        clone.analyze = self.analyze
         clone.expr = expr
         return clone
 

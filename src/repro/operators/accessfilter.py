@@ -34,6 +34,11 @@ __all__ = ["AccessFilter"]
 class AccessFilter(UnaryOperator):
     """Fixed access-control filter for pre-/post-filtering layouts."""
 
+    #: Like the shield, per-tuple ``filter.drop`` events interleave
+    #: with passed tuples; with an audit log attached the executor
+    #: unbatches so every denial is individually recorded.
+    audit_batch_safe = False
+
     def __init__(self, roles: Iterable[str] | AbstractRoleSet, *,
                  stream_id: str = "*", strip_sps: bool = True,
                  name: str | None = None):
@@ -61,6 +66,8 @@ class AccessFilter(UnaryOperator):
         self.stats.comparisons += 1
         if not policy.permits_any(self.predicate):
             self.tuples_blocked += 1
+            if self.audit is not None:
+                self._audit_drop(element, policy)
             return []
         out: list[StreamElement] = []
         if self._held_sps:
@@ -76,8 +83,17 @@ class AccessFilter(UnaryOperator):
         predicate = self.predicate
         tuples = batch.tuples
         self.stats.comparisons += len(tuples)
-        passing = [item for item in tuples
-                   if tracker.policy_for(item).permits_any(predicate)]
+        if self.audit is None:
+            passing = [item for item in tuples
+                       if tracker.policy_for(item).permits_any(predicate)]
+        else:
+            passing = []
+            for item in tuples:
+                policy = tracker.policy_for(item)
+                if policy.permits_any(predicate):
+                    passing.append(item)
+                else:
+                    self._audit_drop(item, policy)
         self.tuples_blocked += len(tuples) - len(passing)
         if not passing:
             return []
@@ -88,3 +104,12 @@ class AccessFilter(UnaryOperator):
         out.append(passing[0] if len(passing) == 1
                    else TupleBatch(passing))
         return out
+
+    def _audit_drop(self, item: DataTuple, policy) -> None:
+        """Exactly one ``filter.drop`` event per denied tuple."""
+        self.audit.record(
+            "filter.drop", ts=item.ts, operator=self.name,
+            query=self.audit_query, sid=item.sid, tid=item.tid,
+            predicate=tuple(sorted(self.predicate.names())),
+            policy=tuple(sorted(policy.roles.names())),
+        )

@@ -186,9 +186,15 @@ class TestGuards:
             GroupByExpr(ScanExpr("s"), None, "sum", "a", 10.0),
             frozenset({"R1"}))
         strict = self.make_ctx(heterogeneous_policies_possible=True)
-        relaxed = self.make_ctx()
+        unknown = self.make_ctx()  # default: hazard unproven
+        relaxed = self.make_ctx(heterogeneous_policies_possible=False)
         assert not CommuteDupElimShield().matches(shield_over_dupelim, strict)
         assert not CommuteGroupByShield().matches(shield_over_groupby, strict)
+        # Fail-closed: an unknown precondition refuses like a proven one.
+        assert not CommuteDupElimShield().matches(shield_over_dupelim,
+                                                  unknown)
+        assert not CommuteGroupByShield().matches(shield_over_groupby,
+                                                  unknown)
         assert CommuteDupElimShield().matches(shield_over_dupelim, relaxed)
         assert CommuteGroupByShield().matches(shield_over_groupby, relaxed)
 
@@ -212,7 +218,7 @@ class TestGuards:
             queries={})
         root = ShieldExpr(DupElimExpr(ScanExpr("s"), 50.0, ("a",)),
                           frozenset({"R1"}))
-        ctx = self.make_ctx()  # heterogeneous_policies_possible=False
+        ctx = self.make_ctx(heterogeneous_policies_possible=False)
         rewritten = CommuteDupElimShield().apply(root, ctx)
         assert run_expr(scenario, rewritten, ["R1"]) \
             == run_expr(scenario, root, ["R1"])
@@ -223,7 +229,10 @@ class TestGuards:
                         ScanExpr("c"), "k", "k", 6.0)
         assert not AssociateJoin().matches(
             expr, self.make_ctx(strict_join_windows=True))
-        assert AssociateJoin().matches(expr, self.make_ctx())
+        # Fail-closed: the default (unknown) context refuses too.
+        assert not AssociateJoin().matches(expr, self.make_ctx())
+        assert AssociateJoin().matches(
+            expr, self.make_ctx(strict_join_windows=False))
 
     def test_associate_join_counterexample_diverges(self):
         # ta=0, tb=5, tc=9, w=6: (a⋈b) joins (|5-0|<6) and the result
@@ -248,7 +257,7 @@ class TestGuards:
         left_deep = JoinExpr(
             JoinExpr(ScanExpr("a"), ScanExpr("b"), "k", "k", 6.0),
             ScanExpr("c"), "k", "k", 6.0)
-        ctx = self.make_ctx()  # guard lifted
+        ctx = self.make_ctx(strict_join_windows=False)  # guard lifted
         right_deep = AssociateJoin().apply(left_deep, ctx)
         got_left = run_expr(scenario, left_deep, ["R1"])
         got_right = run_expr(scenario, right_deep, ["R1"])

@@ -1,0 +1,1 @@
+"""Tests for the static security-plan analyzer (repro.analysis)."""

@@ -1,0 +1,86 @@
+"""The ``repro lint`` CLI: formats, exit codes, strict escalation."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CASES = Path(__file__).resolve().parent.parent / "verify" / "cases"
+EXAMPLES = (Path(__file__).resolve().parent.parent.parent
+            / "examples" / "plans")
+
+
+@pytest.fixture
+def bad_spec(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"op": "scan", "stream": "s"}))
+    return str(path)
+
+
+class TestTextFormat:
+    def test_clean_file_exits_zero(self, capsys):
+        code = main(["lint", str(EXAMPLES / "shielded-join.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_warning_file_exits_zero(self, capsys):
+        code = main(["lint",
+                     str(CASES / "dupelim-shield-commute.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SEC004 warning" in out
+        assert "dupelim-shield-commute.json: " in out
+
+    def test_error_file_exits_one(self, bad_spec, capsys):
+        code = main(["lint", bad_spec])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SEC001 error" in out
+
+    def test_multiple_files_aggregated(self, capsys):
+        code = main(["lint",
+                     str(CASES / "dupelim-shield-commute.json"),
+                     str(CASES / "project-prune-widening.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 file(s) checked" in out
+        assert "SEC004" in out and "SEC002" in out
+
+
+class TestStrict:
+    def test_strict_escalates_warnings(self, capsys):
+        code = main(["lint", "--strict",
+                     str(CASES / "dupelim-shield-commute.json")])
+        assert code == 1
+
+    def test_strict_keeps_clean_files_green(self, capsys):
+        code = main(["lint", "--strict",
+                     str(EXAMPLES / "shielded-join.json"),
+                     str(EXAMPLES / "shielded-select.json")])
+        assert code == 0
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, bad_spec, capsys):
+        code = main(["lint", "--format", "json", bad_spec,
+                     str(CASES / "project-prune-widening.json")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["errors"] == 1
+        assert set(payload["files"]) == {
+            bad_spec, str(CASES / "project-prune-widening.json")}
+        spec_report = payload["files"][bad_spec]
+        (diag,) = [d for d in spec_report["diagnostics"]
+                   if d["code"] == "SEC001"]
+        assert diag["severity"] == "error"
+        assert "fixit" in diag
+
+    def test_json_clean(self, capsys):
+        code = main(["lint", "--format", "json",
+                     str(EXAMPLES / "shielded-select.json")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["errors"] == 0 and payload["warnings"] == 0

@@ -1,0 +1,75 @@
+"""The analyzer flags the committed reproducer corpus statically.
+
+PR 4's differential harness found these bug classes *dynamically* and
+shrank them into `tests/verify/cases/`.  The static analyzer must now
+flag each one — with the right SEC code — without running a single
+tuple, while the clean example plans and every generated scenario stay
+free of error-severity findings (no false-positive rejections).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.speclint import lint_file, lint_scenario_object
+from repro.verify.generator import generate_scenario
+
+CASES = Path(__file__).resolve().parent.parent / "verify" / "cases"
+EXAMPLES = (Path(__file__).resolve().parent.parent.parent
+            / "examples" / "plans")
+
+
+class TestCommittedCases:
+    def test_dupelim_shield_commute_flagged_sec004(self):
+        report = lint_file(str(CASES / "dupelim-shield-commute.json"))
+        (diag,) = report.by_code("SEC004")
+        assert diag.severity.label == "warning"
+        assert "commute-dupelim-shield" in diag.message
+        assert report.ok  # hazard reported, scenario still runnable
+
+    def test_project_prune_widening_flagged_sec002(self):
+        report = lint_file(str(CASES / "project-prune-widening.json"))
+        (diag,) = report.by_code("SEC002")
+        assert diag.severity.label == "warning"
+        assert "a0" in diag.message
+        assert report.ok
+
+    def test_baseline_negative_sp_noted_sec005(self):
+        report = lint_file(str(CASES / "baseline-negative-sp.json"))
+        assert any(d.code == "SEC005" and d.severity.label == "info"
+                   for d in report)
+        assert report.ok
+
+    def test_every_committed_case_is_error_free(self):
+        # The corpus is oracle-sound by construction; an error-severity
+        # finding would be an analyzer false positive.
+        for case in sorted(CASES.glob("*.json")):
+            report = lint_file(str(case))
+            assert report.ok, (
+                f"{case.name}: {[str(d) for d in report.errors]}")
+
+
+class TestExamplePlans:
+    def test_examples_exist(self):
+        assert sorted(p.name for p in EXAMPLES.glob("*.json")) == [
+            "shielded-join.json", "shielded-select.json"]
+
+    @pytest.mark.parametrize("name", ["shielded-join.json",
+                                      "shielded-select.json"])
+    def test_fully_shielded_examples_lint_clean(self, name):
+        report = lint_file(str(EXAMPLES / name))
+        assert len(report) == 0, [str(d) for d in report]
+
+
+class TestGeneratedScenarios:
+    def test_no_false_positives_across_seeds(self):
+        checked = 0
+        for seed in (3, 11, 42):
+            for index in range(8):
+                scenario = generate_scenario(seed, index)
+                report = lint_scenario_object(scenario)
+                assert report.ok, (
+                    f"seed={seed} index={index}: "
+                    f"{[str(d) for d in report.errors]}")
+                checked += 1
+        assert checked == 24

@@ -1,0 +1,97 @@
+"""Self-test for the repo's AST lint (scripts/lint_rules.py)."""
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO / "scripts" / "lint_rules.py"
+
+spec = importlib.util.spec_from_file_location("lint_rules", SCRIPT)
+lint_rules = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_rules)
+
+
+def findings(check, source):
+    return check(Path("x.py"), ast.parse(source))
+
+
+class TestRL001:
+    def test_id_assigned_to_tid_name(self):
+        found = findings(lint_rules.check_rl001,
+                         "tid = id(obj)\nself.next_tid = id(x)\n")
+        assert len(found) == 2
+        assert all(f.rule == "RL001" for f in found)
+
+    def test_id_into_datatuple(self):
+        found = findings(
+            lint_rules.check_rl001,
+            'DataTuple("s", id(x), {}, 0.0)\n')
+        assert len(found) == 1
+
+    def test_legitimate_id_uses_allowed(self):
+        found = findings(lint_rules.check_rl001,
+                         "oid = id(node)\nseen[id(seg)] = 1\n")
+        assert found == []
+
+
+class TestRL002:
+    def test_wall_clock_reads(self):
+        found = findings(lint_rules.check_rl002,
+                         "t = time.time()\nu = time.perf_counter()\n")
+        assert len(found) == 2
+
+    def test_unseeded_module_random(self):
+        found = findings(lint_rules.check_rl002,
+                         "x = random.choice(xs)\n")
+        assert len(found) == 1
+
+    def test_seeded_random_allowed(self):
+        found = findings(
+            lint_rules.check_rl002,
+            'rng = random.Random("seed")\nx = rng.choice(xs)\n')
+        assert found == []
+
+    def test_unseeded_random_instance(self):
+        found = findings(lint_rules.check_rl002,
+                         "rng = random.Random()\n")
+        assert len(found) == 1
+
+
+class TestRL003:
+    def test_unaudited_drop_counter(self):
+        source = (
+            "class Op:\n"
+            "    def f(self):\n"
+            "        self.tuples_blocked += 1\n")
+        found = findings(lint_rules.check_rl003, source)
+        assert len(found) == 1
+        assert "Op" in found[0].message
+
+    def test_audited_drop_counter_allowed(self):
+        source = (
+            "class Op:\n"
+            "    def f(self):\n"
+            "        self.tuples_blocked += 1\n"
+            "        if self.audit is not None:\n"
+            "            self.audit.record('drop')\n")
+        assert findings(lint_rules.check_rl003, source) == []
+
+
+class TestWholeTree:
+    def test_src_repro_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT)], cwd=REPO,
+            capture_output=True, text=True)
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_violations_fail_via_cli(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("tid = id(obj)\n")
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), str(bad)], cwd=REPO,
+            capture_output=True, text=True)
+        assert result.returncode == 1
+        assert "RL001" in result.stdout

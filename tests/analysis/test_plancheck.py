@@ -1,0 +1,67 @@
+"""Compiled-DAG analysis: delivery shields, sinks, shared subplans."""
+
+from repro.algebra.expressions import ScanExpr, ShieldExpr
+from repro.analysis.plancheck import analyze_plan
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.dsms import DSMS
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+
+
+def make_dsms():
+    dsms = DSMS()
+    dsms.register_stream(StreamSchema("s", ("a",)), [
+        SecurityPunctuation.grant(["R1"], 0.0, provider="s"),
+        DataTuple("s", 0, {"a": 1}, 1.0),
+    ])
+    return dsms
+
+
+class TestAnalyzePlan:
+    def test_auto_shielded_plan_is_clean(self):
+        dsms = make_dsms()
+        dsms.register_query("q", ScanExpr("s"), roles={"R1"})
+        plan, _sinks = dsms.build_plan()
+        assert analyze_plan(plan).codes() == set()
+
+    def test_delivery_only_plan_warns_sec001(self):
+        dsms = make_dsms()
+        dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                            auto_shield=False)
+        plan, _sinks = dsms.build_plan()
+        report = analyze_plan(plan)
+        (diag,) = report.by_code("SEC001")
+        assert diag.severity.label == "warning"
+        assert report.ok
+
+    def test_delivery_shield_is_exempt_from_sec003(self):
+        # The delivery shield repeats the root shield's predicate by
+        # design; it must not be reported as redundant.
+        dsms = make_dsms()
+        dsms.register_query("q", ScanExpr("s"), roles={"R1"})
+        plan, _sinks = dsms.build_plan()
+        assert "SEC003" not in analyze_plan(plan).codes()
+
+    def test_dominated_inplan_shield_flagged(self):
+        dsms = make_dsms()
+        expr = ShieldExpr(ShieldExpr(ScanExpr("s"), frozenset({"R1"})),
+                          frozenset({"R1", "R2"}))
+        dsms.register_query("q", expr, roles={"R1"})
+        plan, _sinks = dsms.build_plan()
+        report = analyze_plan(plan)
+        (diag,) = report.by_code("SEC003")
+        assert diag.severity.label == "warning"
+
+    def test_shared_subplan_analyzed_once_per_route(self):
+        # Two queries over the same scan: the scan node fans out, and
+        # each query's route must carry its own shield guarantee.
+        dsms = make_dsms()
+        dsms.register_query("q1", ScanExpr("s"), roles={"R1"})
+        dsms.register_query("q2", ScanExpr("s"), roles={"R2"},
+                            auto_shield=False)
+        plan, _sinks = dsms.build_plan()
+        report = analyze_plan(plan)
+        # Only q2's sink lacks an in-plan shield.
+        sec001 = report.by_code("SEC001")
+        assert len(sec001) == 1
+        assert report.ok

@@ -1,0 +1,111 @@
+"""DSMS registration-time analysis: analyze="off"/"warn"/"strict"."""
+
+import warnings
+
+import pytest
+
+from repro.algebra.expressions import ScanExpr, ShieldExpr
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.dsms import DSMS
+from repro.errors import (PlanAnalysisError, PlanAnalysisWarning,
+                          QueryError)
+from repro.stream.schema import StreamSchema
+from repro.stream.tuples import DataTuple
+
+
+def make_dsms():
+    dsms = DSMS()
+    dsms.register_stream(StreamSchema("s", ("a",)), [
+        SecurityPunctuation.grant(["R1"], 0.0, provider="s"),
+        DataTuple("s", 0, {"a": 1}, 1.0),
+    ])
+    return dsms
+
+
+class TestStrictMode:
+    def test_rejects_unshielded_plan_before_any_tuple(self):
+        dsms = make_dsms()
+        with pytest.raises(PlanAnalysisError) as excinfo:
+            dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                                auto_shield=False, analyze="strict")
+        # Rejection is pre-registration and pre-execution.
+        assert "q" not in dsms.queries
+        report = excinfo.value.report
+        assert report is not None
+        assert "SEC001" in report.codes()
+
+    def test_accepts_shielded_plan_and_runs(self):
+        dsms = make_dsms()
+        dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                            analyze="strict")
+        results = dsms.run()
+        assert len(results["q"].tuples) == 1
+
+    def test_accepts_explicit_shield_without_auto(self):
+        dsms = make_dsms()
+        expr = ShieldExpr(ScanExpr("s"), frozenset({"R1"}))
+        dsms.register_query("q", expr, roles={"R1"},
+                            auto_shield=False, analyze="strict")
+        assert len(dsms.run()["q"].tuples) == 1
+
+    def test_warning_severity_findings_do_not_raise(self):
+        # A dominated shield is warning-severity: strict mode still
+        # registers and runs the query (errors only).
+        dsms = make_dsms()
+        expr = ShieldExpr(ShieldExpr(ScanExpr("s"), frozenset({"R1"})),
+                          frozenset({"R1", "R2"}))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PlanAnalysisWarning)
+            dsms.register_query("q", expr, roles={"R1"},
+                                analyze="strict")
+            assert len(dsms.run()["q"].tuples) == 1
+
+
+class TestWarnMode:
+    def test_unshielded_plan_warns_but_registers(self):
+        dsms = make_dsms()
+        with pytest.warns(PlanAnalysisWarning, match="SEC001"):
+            dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                                auto_shield=False, analyze="warn")
+        assert "q" in dsms.queries
+
+    def test_build_plan_reanalyzes_compiled_dag(self):
+        dsms = make_dsms()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PlanAnalysisWarning)
+            dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                                auto_shield=False, analyze="warn")
+        with pytest.warns(PlanAnalysisWarning, match="compiled plan"):
+            dsms.build_plan()
+
+    def test_clean_plan_is_silent(self):
+        dsms = make_dsms()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlanAnalysisWarning)
+            dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                                analyze="warn")
+            dsms.run()
+
+
+class TestModeHandling:
+    def test_off_is_the_default_and_silent(self):
+        dsms = make_dsms()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlanAnalysisWarning)
+            dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                                auto_shield=False)
+            dsms.run()
+
+    def test_invalid_mode_rejected(self):
+        dsms = make_dsms()
+        with pytest.raises(QueryError, match="analyze"):
+            dsms.register_query("q", ScanExpr("s"), roles={"R1"},
+                                analyze="paranoid")
+
+    def test_mode_survives_with_expr(self):
+        from repro.engine.query import ContinuousQuery
+
+        query = ContinuousQuery("q", ScanExpr("s"), {"R1"},
+                                analyze="strict")
+        clone = query.with_expr(query.expr)
+        assert clone.analyze == "strict"
