@@ -46,6 +46,7 @@ from repro.errors import PlanAnalysisError, PlanAnalysisWarning, QueryError
 from repro.observability import AuditLog, Observability
 from repro.operators.shield import SecurityShield
 from repro.operators.sink import CollectingSink
+from repro.stream.batch import coalesce_elements
 from repro.stream.element import StreamElement
 from repro.stream.schema import StreamSchema
 from repro.stream.source import CallbackSource, ListSource, StreamSource
@@ -325,20 +326,36 @@ class DSMS:
         self._live_plan = plan
         return plan, sinks
 
-    def _analyzed_sources(self) -> list[StreamSource]:
+    def _analyzed_sources(self, *,
+                          coalesce: bool = False) -> list[StreamSource]:
+        """Sources with sp analysis applied (policy-carrying streams).
+
+        With ``coalesce=True`` each source also groups tuple runs into
+        :class:`~repro.stream.batch.TupleBatch` envelopes inside the
+        same generator (``analyze_batched``), for the executor's
+        pre-batched single-source fast path.
+        """
         sources: list[StreamSource] = []
         for stream_id in self.catalog.stream_ids():
             registered = self.catalog.get(stream_id)
             if registered.source is None:
                 continue
+            base = registered.source
             if registered.carries_policies:
-                base = registered.source
+                if coalesce:
+                    factory = (
+                        lambda b=base: self.analyzer.analyze_batched(
+                            iter(b)))
+                else:
+                    factory = (
+                        lambda b=base: self.analyzer.analyze(iter(b)))
+                sources.append(CallbackSource(registered.schema, factory))
+            elif coalesce:
                 sources.append(CallbackSource(
                     registered.schema,
-                    (lambda b=base: self.analyzer.analyze(iter(b))),
-                ))
+                    (lambda b=base: coalesce_elements(iter(b)))))
             else:
-                sources.append(registered.source)
+                sources.append(base)
         return sources
 
     def open_session(self, *,
@@ -360,7 +377,8 @@ class DSMS:
     def run(self, *,
             optimize: "OptimizeLevel | bool | str" = OptimizeLevel.NONE,
             analyze_sps: bool = True,
-            batching: bool = True) -> dict[str, QueryResult]:
+            batching: bool = True,
+            columnar: bool = True) -> dict[str, QueryResult]:
         """Execute all queries over all registered sources.
 
         ``optimize`` as in :meth:`build_plan` (an
@@ -375,13 +393,34 @@ class DSMS:
         both modes; ``batching=False`` keeps the element-wise
         reference path (and is what the equivalence tests compare
         against).
+
+        ``columnar`` (effective only with batching) additionally fuses
+        eligible shield/select/project chains into single columnar
+        passes over :class:`~repro.stream.columnar.ColumnBatch`
+        layouts; results, counters and audit streams again stay
+        identical, per the differential oracle.
         """
         plan, sinks = self.build_plan(optimize=optimize)
         sources = (self._analyzed_sources() if analyze_sps
                    else self.catalog.sources())
+        prebatched = False
+        if batching and len(sources) == 1:
+            # Single-source workload: fuse sp analysis and run
+            # coalescing into the source generator itself, and tell
+            # the executor to skip its own coalescing layer.
+            if analyze_sps:
+                sources = self._analyzed_sources(coalesce=True)
+            else:
+                base = sources[0]
+                sources = [CallbackSource(
+                    base.schema,
+                    (lambda b=base: coalesce_elements(iter(b))))]
+            prebatched = True
         executor = Executor(plan, sources,
                             tracer=self.observability.tracer,
                             batching=batching,
+                            columnar=columnar,
+                            prebatched=prebatched,
                             instruments=self.observability.instruments)
         self.last_report = executor.run()
         return {

@@ -41,13 +41,17 @@ CLI prints.
 from __future__ import annotations
 
 import time
+from itertools import repeat
 from typing import Iterable
 
+from repro.engine import fusion as _fusion
+from repro.engine.fusion import build_fused_chains
 from repro.engine.plan import PhysicalPlan, PlanNode
 from repro.observability.stats import StageStats, aggregate_stages
 from repro.observability.trace import NullTraceSink, TraceSink
-from repro.stream.batch import TupleBatch, coalesce_feed
-from repro.stream.element import StreamElement, is_punctuation
+from repro.core.punctuation import SecurityPunctuation
+from repro.stream.batch import (TupleBatch, coalesce_elements, coalesce_feed)
+from repro.stream.element import StreamElement
 from repro.stream.source import StreamSource, merge_sources
 
 __all__ = ["Executor", "ExecutionReport"]
@@ -105,15 +109,30 @@ class Executor:
 
     def __init__(self, plan: PhysicalPlan, sources: Iterable[StreamSource],
                  *, tracer: TraceSink | None = None,
-                 batching: bool = True, instruments=None):
+                 batching: bool = True, columnar: bool = True,
+                 prebatched: bool = False, instruments=None):
         self.plan = plan
         self.sources = list(sources)
         self.tracer = tracer if tracer is not None else NullTraceSink()
         #: Segment-batched execution (see module docstring).
         self.batching = batching
+        #: Columnar tier: fused shield/select/project chains executed
+        #: over ColumnBatch layouts (effective only with batching).
+        self.columnar = columnar
+        #: Sources already yield coalesced runs (TupleBatch envelopes)
+        #: — skip the executor's own coalescing layer.
+        self.prebatched = prebatched
         #: Engine metric instruments (``None`` = metrics off; the run
         #: loop then pays one ``is None`` check per element).
         self.instruments = instruments
+        #: Fused columnar chains, keyed by head node id (empty when the
+        #: columnar tier is off or no chain qualifies).
+        self._fused = (build_fused_chains(plan)
+                       if batching and columnar else {})
+        #: Snapshot of the fusion row threshold (read from the module
+        #: at construction so verification harnesses can lower it to
+        #: force the kernels onto short segments).
+        self._min_fused_rows = _fusion.MIN_FUSED_ROWS
         # With a live audit log, a TupleBatch delivered to a fan-out
         # (several downstream consumers) must be split back into tuples
         # so audit events interleave across branches exactly as in
@@ -132,33 +151,50 @@ class Executor:
                              batching=self.batching)
         start = time.perf_counter()
         entries = self.plan.entries
-        feed = merge_sources(self.sources)
-        if self.batching:
-            feed = coalesce_feed(feed)
+        if self.batching and len(self.sources) == 1:
+            # Single-source fast path: no ts merge needed, so the run
+            # coalescing collapses to one generator layer (or none at
+            # all when the source is already pre-batched) — the merge
+            # + coalesce generator stack is the dominating per-element
+            # cost on sp-dense feeds.
+            (source,) = self.sources
+            elements = (iter(source) if self.prebatched
+                        else coalesce_elements(iter(source)))
+            feed = zip(repeat(source.stream_id), elements)
+        else:
+            feed = merge_sources(self.sources)
+            if self.batching:
+                feed = coalesce_feed(feed)
         push = self._push
         instruments = self.instruments
+        audit_live = self._audit_live
+        get_targets = entries.get
+        sp_type = SecurityPunctuation
+        # Report counters accumulate in locals — one attribute store
+        # after the loop instead of three loads+stores per element.
+        elements_in = tuples_in = sps_in = 0
         for stream_id, element in feed:
             if instruments is not None:
                 instruments.mark_ingest(time.perf_counter())
             if type(element) is TupleBatch:
-                size = len(element)
-                report.elements_in += size
-                report.tuples_in += size
+                size = len(element.tuples)
+                elements_in += size
+                tuples_in += size
                 if instruments is not None:
                     instruments.tuples_in.inc(size)
-            elif is_punctuation(element):
-                report.elements_in += 1
-                report.sps_in += 1
+            elif isinstance(element, sp_type):
+                elements_in += 1
+                sps_in += 1
                 if instruments is not None:
                     instruments.sps_in.inc()
             else:
-                report.elements_in += 1
-                report.tuples_in += 1
+                elements_in += 1
+                tuples_in += 1
                 if instruments is not None:
                     instruments.tuples_in.inc()
-            targets = entries.get(stream_id)
+            targets = get_targets(stream_id)
             if targets:
-                if (len(targets) > 1 and self._audit_live
+                if (len(targets) > 1 and audit_live
                         and type(element) is TupleBatch):
                     # Multi-entry fan-out under audit: deliver per
                     # tuple so branches interleave as element-wise.
@@ -168,6 +204,9 @@ class Executor:
                 else:
                     for node, port in targets:
                         push(node, element, port)
+        report.elements_in = elements_in
+        report.tuples_in = tuples_in
+        report.sps_in = sps_in
         self._flush()
         report.wall_time = time.perf_counter() - start
         if instruments is not None:
@@ -206,21 +245,33 @@ class Executor:
         append = stack.append
         pop = stack.pop
         audit_live = self._audit_live
+        fused = self._fused
+        min_fused_rows = self._min_fused_rows
         while stack:
             node, element, port = pop()
-            operator = node.operator
             if type(element) is TupleBatch:
-                if not operator.accepts_batches():
-                    # Audit-order-sensitive operator with a live audit
-                    # log: unbatch here so each tuple's downstream
-                    # effects complete before the next tuple's audit
-                    # events — byte-identical audit streams.
-                    for item in reversed(element.tuples):
-                        append((node, item, port))
-                    continue
-                outputs = operator.process_batch(element, port)
+                chain = (fused.get(node.node_id)
+                         if fused and len(element.tuples) >= min_fused_rows
+                         else None)
+                if chain is not None:
+                    # Columnar tier: the whole fused chain runs as one
+                    # pass; outputs continue downstream of its tail.
+                    outputs = chain.run(element)
+                    node = chain.tail
+                else:
+                    operator = node.operator
+                    if not operator.accepts_batches():
+                        # Audit-order-sensitive operator with a live
+                        # audit log: unbatch here so each tuple's
+                        # downstream effects complete before the next
+                        # tuple's audit events — byte-identical audit
+                        # streams.
+                        for item in reversed(element.tuples):
+                            append((node, item, port))
+                        continue
+                    outputs = operator.process_batch(element, port)
             else:
-                outputs = operator.process(element, port)
+                outputs = node.operator.process(element, port)
             if not outputs:
                 continue
             downstream = node.downstream

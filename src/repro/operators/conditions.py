@@ -44,6 +44,17 @@ class Condition:
         """Top-level AND factors (selection splitting)."""
         return [self]
 
+    def is_pure(self) -> bool:
+        """Whether evaluation is side-effect free and value-determined.
+
+        Pure conditions may be vectorized over whole columns (extra
+        evaluations are unobservable); impure ones — arbitrary
+        callables — must keep element-wise call order and counts, so
+        the predicate compiler evaluates them per surviving row only.
+        Unknown subclasses default to impure, the conservative choice.
+        """
+        return False
+
     def __and__(self, other: "Condition") -> "Condition":
         return And((self, other))
 
@@ -62,6 +73,9 @@ class TrueCondition(Condition):
 
     def attributes(self) -> frozenset[str]:
         return frozenset()
+
+    def is_pure(self) -> bool:
+        return True
 
     def __repr__(self) -> str:
         return "TRUE"
@@ -95,6 +109,9 @@ class Comparison(Condition):
             return frozenset({self.attribute, str(self.value)})
         return frozenset({self.attribute})
 
+    def is_pure(self) -> bool:
+        return True
+
     def __repr__(self) -> str:
         return f"({self.attribute} {self.op} {self.value!r})"
 
@@ -124,6 +141,9 @@ class And(Condition):
             out.extend(part.conjuncts())
         return out
 
+    def is_pure(self) -> bool:
+        return all(part.is_pure() for part in self.parts)
+
     def __repr__(self) -> str:
         return "(" + " AND ".join(map(repr, self.parts)) + ")"
 
@@ -141,6 +161,9 @@ class Or(Condition):
             out |= part.attributes()
         return out
 
+    def is_pure(self) -> bool:
+        return all(part.is_pure() for part in self.parts)
+
     def __repr__(self) -> str:
         return "(" + " OR ".join(map(repr, self.parts)) + ")"
 
@@ -154,6 +177,9 @@ class Not(Condition):
 
     def attributes(self) -> frozenset[str]:
         return self.inner.attributes()
+
+    def is_pure(self) -> bool:
+        return self.inner.is_pure()
 
     def __repr__(self) -> str:
         return f"(NOT {self.inner!r})"

@@ -78,6 +78,12 @@ class SecurityShield(UnaryOperator):
             sorted(c.names()) for c in self.conjuncts)
         self.indexed = indexed
         self.tracker = PolicyTracker(stream_id)
+        #: Memoized per-role-set verdicts for non-uniform segments:
+        #: ``roles -> (verdict, comparisons_delta)``.  ``_permits`` is
+        #: deterministic given (roles, conjuncts, indexed), so replaying
+        #: the recorded comparison delta keeps the scan-cost accounting
+        #: bit-identical to an uncached evaluation.  Cleared on rebind.
+        self._permits_memo: dict[AbstractRoleSet, tuple[bool, int]] = {}
         #: Decision for the current uniform segment (None = per-tuple).
         self._segment_decision: bool | None = None
         self._decision_stale = True
@@ -138,6 +144,7 @@ class SecurityShield(UnaryOperator):
         self._predicate_list = sorted(roles.names())
         self._conjunct_scans = (self._predicate_list,)
         self._decision_stale = True
+        self._permits_memo.clear()
         if self._instruments is not None:
             # The roles label changed: re-point the verdict counters at
             # the new predicate's series.
@@ -220,6 +227,25 @@ class SecurityShield(UnaryOperator):
             passing = passing and hit
         return passing
 
+    def _permits_cached(self, policy: TuplePolicy) -> bool:
+        """Memoized :meth:`_permits` keyed by the policy's role set.
+
+        Non-uniform segments repeat a handful of distinct role sets
+        across many tuples; the verdict *and* its comparison count are
+        replayed from the memo so stats stay identical to evaluating
+        every tuple from scratch.
+        """
+        memo = self._permits_memo
+        cached = memo.get(policy.roles)
+        if cached is not None:
+            verdict, delta = cached
+            self.stats.comparisons += delta
+            return verdict
+        before = self.stats.comparisons
+        verdict = self._permits(policy)
+        memo[policy.roles] = (verdict, self.stats.comparisons - before)
+        return verdict
+
     # -- element processing -------------------------------------------------
     def _process(self, element: StreamElement,
                  port: int) -> list[StreamElement]:
@@ -288,11 +314,33 @@ class SecurityShield(UnaryOperator):
             self._refresh_decision(tuples[0])
         decision = self._segment_decision
         if decision is None:
-            # Non-uniform policy: decide per tuple.
+            # Non-uniform policy: decide per tuple — but with the
+            # staleness check, policy lookup plumbing and verdict
+            # memoization hoisted out of the loop (an sp can never
+            # arrive mid-batch, so the segment state is fixed here).
             out: list[StreamElement] = []
-            extend = out.extend
+            policy_for = self.tracker.policy_for
+            permits = self._permits_cached
+            m_pass, m_drop = self._m_pass, self._m_drop
+            audit = self.audit
+            blocked = 0
             for item in tuples:
-                extend(self._process_tuple(item))
+                if permits(policy_for(item)):
+                    if m_pass is not None:
+                        m_pass.inc()
+                    if self._held_sps:
+                        out.extend(self._held_sps)
+                        self._held_sps = []
+                    out.append(item)
+                else:
+                    blocked += 1
+                    if m_drop is not None:
+                        m_drop.inc()
+                        if self._segment_denial:
+                            self._m_denial.inc()
+                    if audit is not None:
+                        self._audit_drop(item)
+            self.tuples_blocked += blocked
             return out
         if not decision:
             self.tuples_blocked += len(tuples)

@@ -31,7 +31,8 @@ from typing import Iterable, Iterator
 from repro.core.punctuation import SecurityPunctuation
 from repro.stream.tuples import DataTuple
 
-__all__ = ["TupleBatch", "coalesce_feed", "DEFAULT_MAX_BATCH"]
+__all__ = ["TupleBatch", "coalesce_feed", "coalesce_elements",
+           "DEFAULT_MAX_BATCH"]
 
 #: Upper bound on tuples per batch: keeps per-batch latency and peak
 #: list sizes bounded on streams with very long segments.
@@ -96,3 +97,34 @@ def coalesce_feed(
         run.append(element)
     if run:
         yield (run_sid, run[0] if len(run) == 1 else TupleBatch(run))
+
+
+def coalesce_elements(
+    elements: Iterable["DataTuple | SecurityPunctuation"],
+    *, max_batch: int = DEFAULT_MAX_BATCH,
+) -> Iterator[object]:
+    """Group maximal tuple runs of a *single-stream* element feed.
+
+    The one-source counterpart of :func:`coalesce_feed`: no
+    ``(stream_id, element)`` pairing, no stream-switch breaks — the
+    executor's single-source fast path batches the raw element stream
+    with a single generator layer instead of stacking the merge and
+    coalesce generators (the overhead that put sp-dense workloads,
+    one tuple per sp, *below* element-wise throughput).  Run breaks
+    and the single-tuple unwrap rule are identical to
+    :func:`coalesce_feed`, so both paths produce byte-identical feeds.
+    """
+    run: list[DataTuple] = []
+    for element in elements:
+        if isinstance(element, SecurityPunctuation):
+            if run:
+                yield run[0] if len(run) == 1 else TupleBatch(run)
+                run = []
+            yield element
+            continue
+        run.append(element)
+        if len(run) >= max_batch:
+            yield run[0] if len(run) == 1 else TupleBatch(run)
+            run = []
+    if run:
+        yield run[0] if len(run) == 1 else TupleBatch(run)

@@ -1,17 +1,18 @@
 """The differential runner: every engine configuration vs the oracle.
 
 For one scenario this module runs the full cross product of engine
-configurations — element-wise vs segment-batched execution, NL vs
-SPIndex join, optimizer off / per-query / workload — plus an audited
-run and (where expressible) the two Section I.C baselines, and diffs
-each against :func:`repro.verify.oracle.run_oracle`:
+configurations — element-wise vs segment-batched vs fused-columnar
+execution, NL vs SPIndex join, optimizer off / per-query / workload —
+plus an audited run and (where expressible) the two Section I.C
+baselines, and diffs each against
+:func:`repro.verify.oracle.run_oracle`:
 
 * the multiset of delivered tuples per query, each tagged with its
   resolved role set (so a policy that *widens* is a mismatch even when
   the tuple would have been delivered anyway);
 * the delivery-shield denial count in the audit trail;
-* the executor's total drop counter across batched vs element-wise
-  runs of the same plan.
+* the executor's total drop counter across the element-wise, batched
+  and columnar runs of the same plan.
 
 Engines consume the scenario's streams through freshly decoded wire
 elements, so no state leaks between configurations.
@@ -110,6 +111,16 @@ class EngineConfig:
     join_variant: str = "nl"
     level: str = "none"
     audit: bool = False
+    #: Columnar tier: segment-batched execution with fused
+    #: shield/select/project chains over column batches.
+    columnar: bool = False
+
+    @property
+    def mode(self) -> str:
+        """The execution mode axis: elementwise / batched / columnar."""
+        if self.columnar:
+            return "columnar"
+        return "batched" if self.batching else "elementwise"
 
 
 def configs_for(scenario: Scenario) -> list[EngineConfig]:
@@ -122,11 +133,14 @@ def configs_for(scenario: Scenario) -> list[EngineConfig]:
     configs = []
     for variant in variants:
         for level in levels:
-            for batching in (False, True):
-                mode = "batched" if batching else "elementwise"
+            for batching, columnar in ((False, False), (True, False),
+                                       (True, True)):
+                mode = ("columnar" if columnar
+                        else "batched" if batching else "elementwise")
                 configs.append(EngineConfig(
                     label=f"{mode}/{variant}/{level}",
-                    batching=batching, join_variant=variant, level=level))
+                    batching=batching, join_variant=variant, level=level,
+                    columnar=columnar))
     configs.append(EngineConfig(label="audited/nl/none", batching=False,
                                 join_variant="nl", level="none", audit=True))
     return configs
@@ -172,8 +186,23 @@ def run_engine(scenario: Scenario, config: EngineConfig,
         dsms.register_query(
             name, expr_from_spec(query["plan"], config.join_variant),
             roles=frozenset(query["roles"]), auto_shield=False)
-    results = dsms.run(optimize=OptimizeLevel(config.level),
-                       batching=config.batching)
+    if config.columnar:
+        # Generated scenarios have short segments, well under the
+        # production fusion threshold — lower it so the columnar
+        # kernels actually execute (otherwise this axis would silently
+        # re-test the plain batched path and prove nothing).
+        from repro.engine import fusion
+
+        saved = fusion.MIN_FUSED_ROWS
+        fusion.MIN_FUSED_ROWS = 1
+        try:
+            results = dsms.run(optimize=OptimizeLevel(config.level),
+                               batching=True, columnar=True)
+        finally:
+            fusion.MIN_FUSED_ROWS = saved
+    else:
+        results = dsms.run(optimize=OptimizeLevel(config.level),
+                           batching=config.batching, columnar=False)
     outcome = EngineOutcome()
     for name, result in results.items():
         outcome.delivered[name] = _decode_sink(result.elements)
@@ -302,7 +331,7 @@ def verify_scenario(scenario: Scenario, *,
             str(diagnostic)))
     if oracle is None:
         oracle = run_oracle(scenario.decoded(), scenario.queries)
-    drops_by_plan: dict[tuple, dict[bool, int]] = {}
+    drops_by_plan: dict[tuple, dict[str, int]] = {}
     for config in configs_for(scenario):
         report.configs_run += 1
         try:
@@ -327,14 +356,15 @@ def verify_scenario(scenario: Scenario, *,
                         f"!= oracle {oracle.denied[name]}"))
         if not config.audit:
             plan_key = (config.join_variant, config.level)
-            drops_by_plan.setdefault(plan_key, {})[config.batching] = \
+            drops_by_plan.setdefault(plan_key, {})[config.mode] = \
                 outcome.total_drops
     for plan_key, by_mode in drops_by_plan.items():
-        if len(by_mode) == 2 and by_mode[False] != by_mode[True]:
+        if len(by_mode) > 1 and len(set(by_mode.values())) > 1:
+            detail = " != ".join(f"{mode} drops {count}"
+                                 for mode, count in sorted(by_mode.items()))
             report.mismatches.append(Mismatch(
                 descr, f"*/{plan_key[0]}/{plan_key[1]}", "*", "drops",
-                f"element-wise drops {by_mode[False]} != "
-                f"batched drops {by_mode[True]}"))
+                detail))
     if include_baselines and scenario.baseline_compatible() \
             and element_mutator is None:
         for name, query in scenario.queries.items():

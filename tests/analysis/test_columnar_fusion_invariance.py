@@ -1,0 +1,94 @@
+"""Static analysis must be blind to the columnar tier.
+
+Fusion is strictly an executor concern: :func:`build_fused_chains`
+never rewrites the plan DAG, so ``repro.analysis`` (SEC001–SEC005 over
+the compiled plan) must report byte-identical diagnostics whether or
+not the fused columnar kernels will execute the chain.  This is the
+regression gate for that invariant — if fusion ever starts splicing or
+replacing plan nodes, these tests fail before any security-analysis
+coverage silently degrades.
+"""
+
+from repro.algebra.expressions import ScanExpr, ShieldExpr
+from repro.analysis.plancheck import analyze_plan
+from repro.core.punctuation import SecurityPunctuation
+from repro.engine.dsms import DSMS
+from repro.engine.executor import Executor
+from repro.engine.fusion import build_fused_chains
+from repro.operators.conditions import Comparison
+from repro.stream.schema import StreamSchema
+from repro.stream.source import ListSource
+from repro.stream.tuples import DataTuple
+
+SCHEMA = StreamSchema("s", ("a", "b"))
+
+
+def make_dsms():
+    dsms = DSMS()
+    dsms.register_stream(SCHEMA, [
+        SecurityPunctuation.grant(["R1"], 0.0, provider="s"),
+        DataTuple("s", 0, {"a": 1, "b": 2}, 1.0),
+    ])
+    return dsms
+
+
+def fused_plan():
+    """A plan whose σ→π→ψ→delivery-ψ prefix qualifies for fusion."""
+    dsms = make_dsms()
+    expr = (ScanExpr("s")
+            .select(Comparison("a", ">", 0))
+            .project(["a"]))
+    dsms.register_query("q", expr, roles={"R1"})
+    plan, _sinks = dsms.build_plan()
+    return plan
+
+
+def _plan_snapshot(plan):
+    """Structural fingerprint of the DAG: nodes, operators, edges."""
+    return [
+        (node.node_id, type(node.operator).__name__, node.operator.name,
+         tuple((child.node_id, port) for child, port in node.downstream))
+        for node in plan.topological()
+    ]
+
+
+def test_fusion_detection_leaves_plan_untouched():
+    plan = fused_plan()
+    before = _plan_snapshot(plan)
+    chains = build_fused_chains(plan)
+    assert chains, "precondition: the chain must actually fuse"
+    assert _plan_snapshot(plan) == before
+
+
+def test_executor_construction_leaves_plan_untouched():
+    plan = fused_plan()
+    before = _plan_snapshot(plan)
+    Executor(plan, [ListSource(SCHEMA, [])], columnar=True)
+    assert _plan_snapshot(plan) == before
+
+
+def test_diagnostics_identical_with_and_without_fusion():
+    plan = fused_plan()
+    baseline = [str(d) for d in analyze_plan(plan)]
+    assert build_fused_chains(plan)
+    Executor(plan, [ListSource(SCHEMA, [])], columnar=True)
+    assert [str(d) for d in analyze_plan(plan)] == baseline
+
+
+def test_sec_coverage_on_flawed_plan_unchanged_by_fusion():
+    """A plan with real findings keeps them after fusion detection."""
+    dsms = make_dsms()
+    # Dominated in-plan shield (SEC003 territory) under a fusable
+    # select/project chain, delivery shield only for the query.
+    expr = ShieldExpr(ShieldExpr(ScanExpr("s"), frozenset({"R1"})),
+                      frozenset({"R1", "R2"}))
+    dsms.register_query("q", expr.select(Comparison("a", ">", 0)),
+                        roles={"R1"}, auto_shield=False)
+    plan, _sinks = dsms.build_plan()
+    before = analyze_plan(plan)
+    assert before.codes(), "precondition: the flawed plan must report"
+    chains = build_fused_chains(plan)
+    assert chains, "precondition: part of the plan must fuse"
+    after = analyze_plan(plan)
+    assert after.codes() == before.codes()
+    assert [str(d) for d in after] == [str(d) for d in before]
