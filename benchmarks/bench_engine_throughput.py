@@ -18,6 +18,11 @@ or as the CI perf regression gate (reduced workload, exit 1 if the
 columnar tier is slower than plain batched at ``tuples_per_sp=100``)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --perf-smoke
+
+or as the observability-overhead gate (exit 1 if default-sampled
+causal tracing costs more than 20% of untraced throughput)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --obs-smoke
 """
 
 from __future__ import annotations
@@ -36,14 +41,18 @@ QUERY_COUNTS = (1, 4, 16)
 MODES = {"plain": OptimizeLevel.NONE, "optimized": OptimizeLevel.PER_QUERY,
          "workload": OptimizeLevel.WORKLOAD}
 
-#: The observability axis: nothing, metrics registry only, everything
-#: (audit log + tracing + metrics + live dashboard frames).
-OBSERVABILITY_TIERS = ("off", "registry", "monitor")
+#: The observability axis: nothing, sampled causal tracing only,
+#: metrics registry only, everything (audit log + tracing + metrics +
+#: live dashboard frames).
+OBSERVABILITY_TIERS = ("off", "tracing", "registry", "monitor")
 
 
 def _make_observability(tier: str) -> Observability:
     if tier == "off":
         return Observability.disabled()
+    if tier == "tracing":
+        # Default head-sampling rate; drops/denials are kept anyway.
+        return Observability.with_tracing()
     if tier == "registry":
         return Observability.with_metrics()
     return Observability.in_memory()
@@ -165,6 +174,56 @@ def _measure(n_queries: int, tuples_per_sp: int, n_tuples: int,
     }
 
 
+def _measure_tiers(n_queries: int, tuples_per_sp: int, n_tuples: int,
+                   tiers, *, inner: int = 4, rounds: int = 10) -> dict:
+    """Interleaved amortized CPU-time best-of for observability tiers.
+
+    Single-run wall-clock timing cannot resolve few-percent overheads
+    on a shared box: scheduler noise alone moves ~6ms runs by ±20%.
+    Each sample therefore times ``inner`` back-to-back runs on the
+    process CPU clock (``time.process_time`` — immune to sleeps and
+    other tenants) and takes the per-run mean; tiers are interleaved
+    every round so they sample the same thermal/load windows, and the
+    minimum over rounds estimates the noise-free cost.
+    """
+    import time
+
+    elements = list(punctuated_stream(
+        n_tuples, tuples_per_sp=tuples_per_sp, policy_size=3,
+        accessible_fraction=0.6, seed=61))
+    engines = {tier: build_dsms(n_queries, elements,
+                                observability=_make_observability(tier))
+               for tier in tiers}
+    for dsms in engines.values():
+        dsms.run(batching=True)  # warm caches and plan compilation
+    best = {tier: float("inf") for tier in tiers}
+    elements_in = {tier: 0 for tier in tiers}
+    for _ in range(rounds):
+        for tier, dsms in engines.items():
+            start = time.process_time()
+            for _ in range(inner):
+                dsms.run(batching=True)
+                if tier == "monitor":
+                    _render_monitor_frame(dsms)
+            best[tier] = min(best[tier],
+                             (time.process_time() - start) / inner)
+            elements_in[tier] = dsms.last_report.elements_in
+    out = {
+        tier: {
+            "elements_in": elements_in[tier],
+            "best_cpu_seconds": round(best[tier], 6),
+            "elements_per_second": round(elements_in[tier] / best[tier], 1),
+        }
+        for tier in tiers
+    }
+    base = out["off"]["elements_per_second"]
+    for tier in tiers:
+        eps = out[tier]["elements_per_second"]
+        out[tier]["overhead_vs_off"] = round(
+            (base - eps) / base if base else 0.0, 4)
+    return out
+
+
 def _measure_modes(n_queries: int, tuples_per_sp: int, n_tuples: int,
                    repeats: int = 9) -> dict:
     """Interleaved best-of measurement of the three execution modes.
@@ -240,23 +299,34 @@ def main(out_path: str = "BENCH_throughput.json",
                   f" elem/s  speedup={row['speedup']:.2f}x"
                   f" columnar={row['speedup_columnar']:.2f}x")
 
-    # -- observability overhead axis (batched, 4 queries, 1 sp / 10 tuples)
+    # -- observability overhead axis (batched, 4 queries) ------------------
+    # Measured at tuples_per_sp=100: the fused high-throughput regime,
+    # where per-decision observability cost is most visible relative to
+    # the engine's own work.  CPU-time estimator — see _measure_tiers.
     observability: dict = {
-        "workload": {"tuples_per_sp": 10, "n_queries": 4,
-                     "batching": True},
-        "tiers": {},
+        "workload": {"tuples_per_sp": 100, "n_queries": 4,
+                     "batching": True,
+                     "estimator": "min over interleaved rounds of mean "
+                                  "process CPU time per run"},
+        "tiers": _measure_tiers(4, 100, n_tuples, OBSERVABILITY_TIERS),
     }
     for tier in OBSERVABILITY_TIERS:
-        observability["tiers"][tier] = _measure(
-            4, 10, n_tuples, batching=True, tier=tier)
-    base_eps = observability["tiers"]["off"]["elements_per_second"]
-    for tier in OBSERVABILITY_TIERS:
-        eps = observability["tiers"][tier]["elements_per_second"]
-        overhead = (base_eps - eps) / base_eps if base_eps else 0.0
-        observability["tiers"][tier]["overhead_vs_off"] = round(
-            overhead, 4)
-        print(f"observability={tier:>8}: {eps:>9,.0f} elem/s  "
-              f"overhead={overhead:+.1%}")
+        entry = observability["tiers"][tier]
+        print(f"observability={tier:>8}: "
+              f"{entry['elements_per_second']:>9,.0f} elem/s  "
+              f"overhead={entry['overhead_vs_off']:+.1%}")
+    # Worst case for the always-kept denial provenance: sp-dense
+    # segments (1 sp / 10 tuples) emit ~10x the drop records per
+    # element, so tail-based keep dominates the tracing cost there.
+    observability["sp_dense_tracing"] = {
+        "workload": {"tuples_per_sp": 10, "n_queries": 4,
+                     "batching": True},
+        "tiers": _measure_tiers(4, 10, n_tuples, ("off", "tracing")),
+    }
+    dense = observability["sp_dense_tracing"]["tiers"]["tracing"]
+    print(f"sp-dense tracing (1 sp / 10 tuples): "
+          f"{dense['elements_per_second']:>9,.0f} elem/s  "
+          f"overhead={dense['overhead_vs_off']:+.1%}")
     report["observability"] = observability
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -287,9 +357,38 @@ def perf_smoke(n_tuples: int = 6_000) -> int:
     return 0
 
 
+def obs_smoke(n_tuples: int = 6_000, threshold: float = 0.20) -> int:
+    """CI gate on causal-tracing overhead (reduced workload).
+
+    Interleaved amortized CPU-time comparison (see ``_measure_tiers``)
+    of the ``off`` and ``tracing`` observability tiers at
+    ``tuples_per_sp=100`` — the fused high-throughput regime.  The
+    default head-sampled tracer must cost less than ``threshold`` of
+    untraced throughput — the paper-facing budget is 15%; the gate
+    allows 20% for noisy CI boxes.  Returns a process exit code
+    (0 ok, 1 over budget).
+    """
+    tiers = _measure_tiers(4, 100, n_tuples, ("off", "tracing"),
+                           inner=8, rounds=8)
+    off_eps = tiers["off"]["elements_per_second"]
+    traced_eps = tiers["tracing"]["elements_per_second"]
+    overhead = tiers["tracing"]["overhead_vs_off"]
+    print(f"obs-smoke tuples_per_sp=100: off={off_eps:,.0f} "
+          f"tracing={traced_eps:,.0f} elem/s  overhead={overhead:+.1%} "
+          f"(budget {threshold:.0%})")
+    if overhead > threshold:
+        print("OBSERVABILITY REGRESSION: sampled causal tracing over "
+              "its overhead budget")
+        return 1
+    print("obs-smoke OK")
+    return 0
+
+
 if __name__ == "__main__":
     import sys
 
     if "--perf-smoke" in sys.argv:
         raise SystemExit(perf_smoke())
+    if "--obs-smoke" in sys.argv:
+        raise SystemExit(obs_smoke())
     main()

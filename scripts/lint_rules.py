@@ -23,6 +23,17 @@ Rules
     must also reference the ``audit`` hook somewhere in its body, so
     every denial can be recorded in the security audit trail.
 
+``RL004`` — operators that count drops must attach provenance.  Any
+    class under ``src/repro/operators`` that increments
+    ``tuples_blocked`` must also reference the ``_tracer`` hook, so
+    every denial is reconstructable through ``repro why`` (causal
+    security provenance, the observability counterpart of RL003).
+    Additionally, operator files must not hand-build trace events:
+    raw ``SpanEvent(...)`` construction and flat ``.span(...)`` calls
+    bypass head sampling, the tail-based keep override and causal ids
+    — provenance must flow through the ``Tracer`` API
+    (``record``/``decision``/``op_span``).
+
 Output is ``path:line: RLxxx message`` per finding; exit status 1 when
 anything is flagged.
 """
@@ -176,6 +187,47 @@ def check_rl003(path: Path, tree: ast.AST) -> "list[Finding]":
     return findings
 
 
+def check_rl004(path: Path, tree: ast.AST) -> "list[Finding]":
+    """Drop-counting operators must be provenance-traceable."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        increments = [
+            sub for sub in ast.walk(node)
+            if isinstance(sub, ast.AugAssign)
+            and isinstance(sub.target, ast.Attribute)
+            and sub.target.attr == "tuples_blocked"
+        ]
+        if not increments:
+            continue
+        traced = any(
+            isinstance(sub, ast.Attribute) and sub.attr == "_tracer"
+            for sub in ast.walk(node))
+        if not traced:
+            findings.append(Finding(
+                path, increments[0].lineno, "RL004",
+                f"class {node.name!r} increments tuples_blocked but "
+                "never references the _tracer hook; denials must be "
+                "reconstructable through causal provenance"))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "SpanEvent":
+            findings.append(Finding(
+                path, node.lineno, "RL004",
+                "raw SpanEvent(...) built in an operator; emit through "
+                "the Tracer API so sampling and causal ids apply"))
+        elif isinstance(func, ast.Attribute) and func.attr == "span":
+            findings.append(Finding(
+                path, node.lineno, "RL004",
+                "flat .span(...) call in an operator; use the Tracer "
+                "provenance API (record/decision/op_span) so security "
+                "events keep their causal context"))
+    return findings
+
+
 def lint_file(path: Path) -> "list[Finding]":
     """All rule findings for one source file."""
     try:
@@ -189,6 +241,7 @@ def lint_file(path: Path) -> "list[Finding]":
         findings.extend(check_rl002(path, tree))
     if (SRC / "operators") in path.parents:
         findings.extend(check_rl003(path, tree))
+        findings.extend(check_rl004(path, tree))
     return findings
 
 

@@ -23,6 +23,15 @@ Commands
 ``audit [file]``
     Same execution with the audit trail enabled; print (or export) the
     security decisions, or explain the fate of one tuple id.
+``why <tid> [file]``
+    Same execution with causal tracing + audit enabled; reconstruct
+    the full security decision chain (governing sp → resolved policy →
+    shield/filter verdicts → delivery) for one tuple id, from the
+    trace — no replay.
+``trace [file] [--name N] [--jsonl PATH]``
+    Same execution with causal tracing enabled; print the recorded
+    spans (trace/span/parent ids, monotonic timestamps) or export the
+    flight-recorder contents as JSON lines.
 ``metrics [file] [--format prom|json] [--serve [--port N]]``
     Same execution with the metrics registry enabled; emit the
     collected metrics as Prometheus text exposition or JSON, or keep
@@ -274,6 +283,36 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_why(args: argparse.Namespace) -> int:
+    from repro.observability import reconstruct_why
+
+    dsms, _results = _observed_run(args)
+    tracer = dsms.observability.tracer
+    tid: object = args.tid
+    report = reconstruct_why(tid, tracer.events(), audit=dsms.audit)
+    if not report.found() and args.tid.lstrip("-").isdigit():
+        tid = int(args.tid)
+        report = reconstruct_why(tid, tracer.events(), audit=dsms.audit)
+    print(report.render_text())
+    return 0 if report.found() else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    dsms, _results = _observed_run(args)
+    tracer = dsms.observability.tracer
+    if args.jsonl:
+        count = tracer.recorder.dump_jsonl(args.jsonl)
+        print(f"wrote {count} spans to {args.jsonl}")
+        return 0
+    events = tracer.events(args.name)
+    for event in events[-args.limit:]:
+        print(event)
+    print()
+    print(f"recorded: {len(events)} span(s) across {tracer.traces} "
+          f"trace(s) ({tracer.sampled_traces} sampled)")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.observability.export import (render_json,
                                             render_prometheus,
@@ -453,6 +492,26 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--limit", type=int, default=50,
                        help="print at most N most recent events")
     audit.set_defaults(fn=_cmd_audit)
+
+    why = sub.add_parser(
+        "why",
+        help="reconstruct the security decision chain for a tuple id")
+    why.add_argument("tid", help="tuple id to explain")
+    _add_observed_arguments(why)
+    why.set_defaults(fn=_cmd_why)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a query with causal tracing and print/export spans")
+    _add_observed_arguments(trace)
+    trace.add_argument("--name", default=None,
+                       help="only spans with this name "
+                            "(e.g. provenance.shield.drop)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="export recorded spans as JSON lines and exit")
+    trace.add_argument("--limit", type=int, default=50,
+                       help="print at most N most recent spans")
+    trace.set_defaults(fn=_cmd_trace)
 
     metrics = sub.add_parser(
         "metrics",

@@ -122,10 +122,23 @@ class AbstractRoleSet:
     as ``self``.
     """
 
-    __slots__ = ()
+    __slots__ = ("_sorted_cache",)
 
     def names(self) -> frozenset[str]:
         raise NotImplementedError
+
+    def names_sorted(self) -> list[str]:
+        """Sorted role names, memoized per instance.
+
+        Provenance and audit records render the governing policy as a
+        sorted name list on every security verdict; role sets are
+        immutable, so the render is computed once and shared (callers
+        must not mutate the returned list).
+        """
+        cached = getattr(self, "_sorted_cache", None)
+        if cached is None:
+            cached = self._sorted_cache = sorted(self.names())
+        return cached
 
     def intersect(self, other: "AbstractRoleSet") -> "AbstractRoleSet":
         raise NotImplementedError

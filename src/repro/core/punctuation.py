@@ -367,14 +367,20 @@ class SecurityPunctuation:
 
         Incremental sps (the future-work extension) carry a sixth
         ``INC`` field; plain sps keep the paper's five-field format.
+        Memoized per instance (like :meth:`roles`): every shield that
+        sees this sp renders the same governing-sp text into its
+        provenance and audit records.
         """
+        cached = getattr(self, "_text_cache", None)
+        if cached is not None:
+            return cached
         base = (
             f"<{self.ddp.spec()} | {self.srp.spec()} | {self.sign.value} | "
             f"{'T' if self.immutable else 'F'} | {self.ts}"
         )
-        if self.incremental:
-            return base + " | INC>"
-        return base + ">"
+        text = base + (" | INC>" if self.incremental else ">")
+        object.__setattr__(self, "_text_cache", text)
+        return text
 
     @classmethod
     def parse(cls, text: str, provider: str | None = None) -> "SecurityPunctuation":

@@ -43,7 +43,7 @@ from repro.engine.executor import ExecutionReport, Executor
 from repro.engine.plan import PhysicalPlan
 from repro.engine.query import ContinuousQuery
 from repro.errors import PlanAnalysisError, PlanAnalysisWarning, QueryError
-from repro.observability import AuditLog, Observability
+from repro.observability import AuditLog, Observability, Tracer
 from repro.operators.shield import SecurityShield
 from repro.operators.sink import CollectingSink
 from repro.stream.batch import coalesce_elements
@@ -275,12 +275,26 @@ class DSMS:
             result = optimizer.optimize_workload(
                 [self.queries[name].expr for name in names])
             workload_plans = dict(zip(names, result.plans))
+        tracer = self.observability.tracer
+        causal = tracer if isinstance(tracer, Tracer) else None
         for name, query in self.queries.items():
             expr = query.expr
             if level is OptimizeLevel.WORKLOAD:
                 expr = workload_plans[name]
             elif level is OptimizeLevel.PER_QUERY:
-                expr = optimizer.optimize(expr).plan
+                result = optimizer.optimize(expr)
+                expr = result.plan
+                if causal is not None and result.steps > 0:
+                    # Table II rewrites are security-relevant plan
+                    # surgery: record which queries were rewritten (and
+                    # what the prover refused) as kept provenance.
+                    causal.decision(
+                        "optimizer.rewrite", operator="optimizer",
+                        verdict="rewritten", query=name, keep=True,
+                        steps=result.steps,
+                        initial_cost=result.initial_cost,
+                        cost=result.cost,
+                        refusals=len(result.refusals))
             sink = CollectingSink(name=f"sink:{name}")
             # The delivery shield is a fixed final check: results are
             # handed only to subjects holding the query's roles, no
@@ -314,6 +328,11 @@ class DSMS:
         if instruments is not None:
             for operator in plan.operators():
                 operator.bind_metrics(instruments)
+        # Causal tracing: every operator gets the tracer so security
+        # decision sites can attach provenance records.
+        if causal is not None:
+            for operator in plan.operators():
+                operator.bind_tracer(causal)
         modes = {query.analyze for query in self.queries.values()}
         if modes != {"off"}:
             # Second analysis layer: the compiled DAG, where shared

@@ -47,6 +47,7 @@ from typing import Iterable
 from repro.engine import fusion as _fusion
 from repro.engine.fusion import build_fused_chains
 from repro.engine.plan import PhysicalPlan, PlanNode
+from repro.observability.provenance import Tracer
 from repro.observability.stats import StageStats, aggregate_stages
 from repro.observability.trace import NullTraceSink, TraceSink
 from repro.core.punctuation import SecurityPunctuation
@@ -114,6 +115,10 @@ class Executor:
         self.plan = plan
         self.sources = list(sources)
         self.tracer = tracer if tracer is not None else NullTraceSink()
+        #: Causal tracer (trace contexts, operator spans, provenance);
+        #: ``None`` when the sink is a plain flat-event TraceSink.
+        self._causal: Tracer | None = (
+            self.tracer if isinstance(self.tracer, Tracer) else None)
         #: Segment-batched execution (see module docstring).
         self.batching = batching
         #: Columnar tier: fused shield/select/project chains executed
@@ -168,6 +173,8 @@ class Executor:
         push = self._push
         instruments = self.instruments
         audit_live = self._audit_live
+        causal = self._causal
+        push_traced = self._push_traced
         get_targets = entries.get
         sp_type = SecurityPunctuation
         # Report counters accumulate in locals — one attribute store
@@ -182,28 +189,38 @@ class Executor:
                 tuples_in += size
                 if instruments is not None:
                     instruments.tuples_in.inc(size)
+                if causal is not None:
+                    causal.begin("batch", stream=stream_id, size=size)
             elif isinstance(element, sp_type):
                 elements_in += 1
                 sps_in += 1
                 if instruments is not None:
                     instruments.sps_in.inc()
+                if causal is not None:
+                    causal.begin("sp", stream=stream_id, ts=element.ts)
             else:
                 elements_in += 1
                 tuples_in += 1
                 if instruments is not None:
                     instruments.tuples_in.inc()
+                if causal is not None:
+                    causal.begin("tuple", stream=stream_id,
+                                 ts=element.ts)
             targets = get_targets(stream_id)
             if targets:
+                deliver = (push_traced
+                           if causal is not None and causal.active
+                           else push)
                 if (len(targets) > 1 and audit_live
                         and type(element) is TupleBatch):
                     # Multi-entry fan-out under audit: deliver per
                     # tuple so branches interleave as element-wise.
                     for item in element.tuples:
                         for node, port in targets:
-                            push(node, item, port)
+                            deliver(node, item, port)
                 else:
                     for node, port in targets:
-                        push(node, element, port)
+                        deliver(node, element, port)
         report.elements_in = elements_in
         report.tuples_in = tuples_in
         report.sps_in = sps_in
@@ -230,8 +247,11 @@ class Executor:
 
     def feed(self, stream_id: str, element: StreamElement) -> None:
         """Push one element into the plan (incremental driving)."""
+        causal = self._causal
+        push = (self._push_traced
+                if causal is not None and causal.active else self._push)
         for node, port in self.plan.entries.get(stream_id, ()):
-            self._push(node, element, port)
+            push(node, element, port)
 
     def _push(self, node: PlanNode, element, port: int) -> None:
         """Deliver ``element`` (or a TupleBatch) depth-first from ``node``.
@@ -289,6 +309,81 @@ class Executor:
                 else:
                     for child, child_port in reversed(downstream):
                         append((child, out, child_port))
+
+    def _push_traced(self, node: PlanNode, element, port: int) -> None:
+        """Traced variant of :meth:`_push` for sampled traces.
+
+        Identical delivery discipline, but every operator invocation
+        is timed on the monotonic clock and emitted as a child span of
+        the element's root span (chains of operators nest via the work
+        stack's carried parent span id), and per-operator latency
+        histograms get exemplars pointing at the live trace.  Only
+        runs while the current trace is head-sampled, so its extra
+        cost is bounded by the sampling rate.
+        """
+        tracer = self._causal
+        assert tracer is not None
+        stack: list[tuple[PlanNode, object, int, int]] = [
+            (node, element, port, tracer._root_id)]
+        append = stack.append
+        pop = stack.pop
+        audit_live = self._audit_live
+        fused = self._fused
+        min_fused_rows = self._min_fused_rows
+        clock = time.perf_counter_ns
+        while stack:
+            node, element, port, parent = pop()
+            if type(element) is TupleBatch:
+                rows = len(element.tuples)
+                chain = (fused.get(node.node_id)
+                         if fused and rows >= min_fused_rows else None)
+                if chain is not None:
+                    begun = clock()
+                    outputs = chain.run(element)
+                    span = tracer.op_span(
+                        "op.fused", parent, clock() - begun,
+                        operators=[op.name for op in chain.operators],
+                        rows=rows)
+                    node = chain.tail
+                else:
+                    operator = node.operator
+                    if not operator.accepts_batches():
+                        for item in reversed(element.tuples):
+                            append((node, item, port, parent))
+                        continue
+                    begun = clock()
+                    outputs = operator.process_batch(element, port)
+                    dur_ns = clock() - begun
+                    span = tracer.op_span("op.process", parent, dur_ns,
+                                          operator=operator.name,
+                                          rows=rows)
+                    if operator._m_latency is not None:
+                        operator._m_latency.exemplar(
+                            dur_ns / rows * 1e-9, tracer.trace_id)
+            else:
+                operator = node.operator
+                begun = clock()
+                outputs = operator.process(element, port)
+                dur_ns = clock() - begun
+                span = tracer.op_span("op.process", parent, dur_ns,
+                                      operator=operator.name, rows=1)
+                if operator._m_latency is not None:
+                    operator._m_latency.exemplar(dur_ns * 1e-9,
+                                                 tracer.trace_id)
+            if not outputs:
+                continue
+            downstream = node.downstream
+            if not downstream:
+                continue
+            fanout = len(downstream) > 1
+            for out in reversed(outputs):
+                if fanout and audit_live and type(out) is TupleBatch:
+                    for item in reversed(out.tuples):
+                        for child, child_port in reversed(downstream):
+                            append((child, item, child_port, span))
+                else:
+                    for child, child_port in reversed(downstream):
+                        append((child, out, child_port, span))
 
     def _flush(self) -> None:
         """End-of-stream: flush operators in topological order."""

@@ -154,14 +154,28 @@ class _ShieldStage(_Stage):
             op._refresh_decision(tuples[0])
         decision = op._segment_decision
         sps_out = 0
+        tracer = op._tracer
         if decision is None:
             # Non-uniform policy: per-row verdicts, memoized per
             # distinct role set (see SecurityShield._permits_cached —
             # comparison accounting is replayed exactly).
             policy_for = op.tracker.policy_for
             permits = op._permits_cached
-            kept = [item for item in tuples
-                    if permits(policy_for(item))]
+            if tracer is None:
+                kept = [item for item in tuples
+                        if permits(policy_for(item))]
+            else:
+                # Provenance: per-row records (drops always kept,
+                # passes only while the trace is sampled).
+                traced = tracer.active
+                kept = []
+                for item in tuples:
+                    if permits(policy_for(item)):
+                        if traced:
+                            op._prov_tuple(item, True)
+                        kept.append(item)
+                    else:
+                        op._prov_tuple(item, False)
             k = len(kept)
             blocked = n - k
             if blocked:
@@ -191,10 +205,14 @@ class _ShieldStage(_Stage):
                 op._m_drop.inc(n)
                 if op._segment_denial:
                     op._m_denial.inc(n)
+            if tracer is not None:
+                op._prov_run(tuples, False)
             _account(op, start, n, 0, 0)
             return
         if op._m_pass is not None:
             op._m_pass.inc(n)
+        if tracer is not None and tracer.active:
+            op._prov_run(tuples, True)
         if op._held_sps:
             sps_out = len(op._held_sps)
             out.extend(op._held_sps)
@@ -245,6 +263,8 @@ class _AccessFilterStage(_Stage):
         predicate = op.predicate
         policy_for = op.tracker.policy_for
         memo = self._memo
+        tracer = op._tracer
+        traced = tracer is not None and tracer.active
         kept: list[object] = []
         append = kept.append
         for item in tuples:
@@ -254,7 +274,11 @@ class _AccessFilterStage(_Stage):
                 verdict = bool(policy.permits_any(predicate))
                 memo[policy.roles] = verdict
             if verdict:
+                if traced:
+                    op._prov_item(item, policy, True)
                 append(item)
+            elif tracer is not None:
+                op._prov_item(item, policy, False)
         k = len(kept)
         op.tuples_blocked += n - k
         sps_out = 0

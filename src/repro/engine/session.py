@@ -26,6 +26,7 @@ from repro.core.punctuation import SecurityPunctuation
 from repro.engine.api import OptimizeLevel
 from repro.engine.executor import ExecutionReport, Executor
 from repro.errors import QueryError, StreamError
+from repro.observability.provenance import Tracer
 from repro.stream.element import StreamElement
 from repro.stream.tuples import DataTuple
 
@@ -48,6 +49,8 @@ class StreamingSession:
         self._dsms = dsms
         self._plan, self._sinks = dsms.build_plan(optimize=optimize)
         self._tracer = dsms.observability.tracer
+        self._causal: Tracer | None = (
+            self._tracer if isinstance(self._tracer, Tracer) else None)
         self._instruments = dsms.observability.instruments
         # Sessions receive elements one push at a time, so there is no
         # run to coalesce; the executor stays in element-wise mode.
@@ -110,7 +113,14 @@ class StreamingSession:
                 instruments.sps_in.inc()
             else:
                 instruments.tuples_in.inc()
-        if self._tracer.enabled:
+        if self._causal is not None:
+            # Each push opens its own causal trace (the session is the
+            # ingest point); the root span doubles as the push event.
+            self._causal.begin(
+                "sp" if isinstance(element, SecurityPunctuation)
+                else "tuple",
+                stream=stream_id, ts=element.ts, name="session.push")
+        elif self._tracer.enabled:
             self._tracer.span(
                 "session.push", stream=stream_id, ts=element.ts,
                 kind=("sp" if isinstance(element, SecurityPunctuation)

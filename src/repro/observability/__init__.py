@@ -54,6 +54,10 @@ from repro.observability.metrics import (Counter, Gauge, Histogram,
                                          MetricFamily, MetricsRegistry,
                                          log_buckets)
 from repro.observability.monitor import MonitorView, run_monitor
+from repro.observability.provenance import (DEFAULT_SAMPLE_RATE,
+                                            FlightRecorder, TraceContext,
+                                            Tracer, WhyReport,
+                                            reconstruct_why)
 from repro.observability.stats import StageStats, aggregate_stages
 from repro.observability.trace import (JsonlTraceSink, NullTraceSink,
                                        RingBufferTraceSink, SpanEvent,
@@ -64,7 +68,9 @@ __all__ = [
     "AuditLog",
     "CATALOG",
     "Counter",
+    "DEFAULT_SAMPLE_RATE",
     "EngineInstruments",
+    "FlightRecorder",
     "Gauge",
     "HealthAlert",
     "HealthMonitor",
@@ -79,10 +85,14 @@ __all__ = [
     "RingBufferTraceSink",
     "SpanEvent",
     "StageStats",
+    "TraceContext",
     "TraceSink",
+    "Tracer",
+    "WhyReport",
     "aggregate_stages",
     "log_buckets",
     "parse_prometheus",
+    "reconstruct_why",
     "render_json",
     "render_prometheus",
     "run_monitor",

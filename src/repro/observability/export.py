@@ -137,10 +137,7 @@ def _parse_sample(line: str, lineno: int) -> tuple[str, dict, float]:
             if not (value.startswith('"') and value.endswith('"')):
                 raise ValueError(
                     f"line {lineno}: unquoted label value in {pair!r}")
-            labels[key.strip()] = (value[1:-1]
-                                   .replace(r'\"', '"')
-                                   .replace(r"\n", "\n")
-                                   .replace(r"\\", "\\"))
+            labels[key.strip()] = _unescape_label(value[1:-1])
     else:
         name, _, rest = line.partition(" ")
     parts = rest.split()
@@ -154,6 +151,33 @@ def _parse_sample(line: str, lineno: int) -> tuple[str, dict, float]:
     if not name.replace("_", "").replace(":", "").isalnum():
         raise ValueError(f"line {lineno}: bad metric name {name!r}")
     return name, labels, value
+
+
+def _unescape_label(value: str) -> str:
+    """Invert :func:`_escape_label` with one left-to-right scan.
+
+    Sequential ``str.replace`` passes are NOT a correct inverse: in
+    ``\\\\n`` (an escaped backslash followed by a literal ``n``) an
+    early ``\\n``-pass would consume the second backslash and the
+    ``n`` as a newline escape.
+    """
+    if "\\" not in value:
+        return value
+    out: list[str] = []
+    i = 0
+    end = len(value)
+    while i < end:
+        char = value[i]
+        if char == "\\" and i + 1 < end:
+            nxt = value[i + 1]
+            out.append("\n" if nxt == "n"
+                       else nxt if nxt in ('"', "\\")
+                       else char + nxt)
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
 
 
 def _split_label_pairs(body: str, lineno: int) -> list[str]:

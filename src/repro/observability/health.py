@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 
 from repro.observability.instruments import EngineInstruments
+from repro.observability.provenance import Tracer
 from repro.observability.trace import NullTraceSink, TraceSink
 
 __all__ = ["HealthAlert", "HealthMonitor"]
@@ -61,15 +62,27 @@ class HealthMonitor:
                  tracer: TraceSink | None = None,
                  stall_after: float = 5.0,
                  propagation_p95: float = 0.5,
+                 flight_path: str | None = None,
+                 flight_window: float = 60.0,
                  clock=time.perf_counter):
         if stall_after <= 0.0:
             raise ValueError("stall_after must be positive")
         if propagation_p95 <= 0.0:
             raise ValueError("propagation_p95 must be positive")
+        if flight_window <= 0.0:
+            raise ValueError("flight_window must be positive")
         self.instruments = instruments
         self.tracer = tracer if tracer is not None else NullTraceSink()
         self.stall_after = stall_after
         self.propagation_p95 = propagation_p95
+        #: JSONL path the causal tracer's flight recorder is dumped to
+        #: when a rule fires (``None`` disables the dump; requires a
+        #: :class:`~repro.observability.provenance.Tracer` as tracer).
+        self.flight_path = flight_path
+        #: Wall-clock window (seconds before the alert) of the dump.
+        self.flight_window = flight_window
+        #: ``(path, events)`` of each completed flight-recorder dump.
+        self.flight_dumps: list[tuple[str, int]] = []
         self._clock = clock
         self._last_denials: float = 0.0
         #: Alert history across checks (most recent last).
@@ -132,9 +145,21 @@ class HealthMonitor:
         denial = self._check_denials()
         if denial is not None:
             new.append(denial)
+        causal = self.tracer if isinstance(self.tracer, Tracer) else None
         for alert in new:
-            if self.tracer.enabled:
+            if causal is not None:
+                # Tail-based keep: alert spans survive head sampling.
+                causal.event("health.alert", keep=True,
+                             **alert.to_dict())
+            elif self.tracer.enabled:
                 self.tracer.span("health.alert", **alert.to_dict())
+        if new and causal is not None and self.flight_path is not None:
+            # Retroactive context: dump the spans that led up to the
+            # alert (everything within flight_window of now).
+            count = causal.recorder.dump_jsonl(
+                self.flight_path,
+                since_wall=time.time() - self.flight_window)
+            self.flight_dumps.append((self.flight_path, count))
         self.alerts.extend(new)
         return new
 

@@ -17,8 +17,8 @@ from __future__ import annotations
 from repro.observability.audit import DEFAULT_CAPACITY, AuditLog
 from repro.observability.instruments import EngineInstruments
 from repro.observability.metrics import MetricsRegistry
-from repro.observability.trace import (NullTraceSink, RingBufferTraceSink,
-                                       TraceSink)
+from repro.observability.provenance import DEFAULT_SAMPLE_RATE, Tracer
+from repro.observability.trace import NullTraceSink, TraceSink
 
 __all__ = ["Observability"]
 
@@ -43,10 +43,11 @@ class Observability:
     @classmethod
     def in_memory(cls, *, audit_capacity: int = DEFAULT_CAPACITY,
                   trace_capacity: int = 4096) -> "Observability":
-        """Bounded in-memory audit log + ring-buffer trace sink +
-        metrics registry (everything on)."""
+        """Bounded in-memory audit log + causal tracer + metrics
+        registry (everything on, every trace sampled)."""
         return cls(audit=AuditLog(audit_capacity),
-                   tracer=RingBufferTraceSink(trace_capacity),
+                   tracer=Tracer(sample=1.0,
+                                 recorder_capacity=trace_capacity),
                    metrics=MetricsRegistry())
 
     @classmethod
@@ -58,6 +59,20 @@ class Observability:
         recorded per decision and batched fast paths stay enabled.
         """
         return cls(metrics=MetricsRegistry())
+
+    @classmethod
+    def with_tracing(cls, *, sample: float = DEFAULT_SAMPLE_RATE,
+                     recorder_capacity: int = 4096,
+                     sink: TraceSink | None = None) -> "Observability":
+        """Causal tracing only — the leave-it-on production tier.
+
+        Head-samples one trace in ~64 by default, always keeps
+        security-drop provenance and feeds the always-on flight
+        recorder; no audit log and no metrics registry, so the batched
+        and fused fast paths stay fully engaged.
+        """
+        return cls(tracer=Tracer(sink, sample=sample,
+                                 recorder_capacity=recorder_capacity))
 
     @property
     def enabled(self) -> bool:

@@ -30,6 +30,7 @@ any of these objects.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left
 from typing import Callable, Iterator, Sequence
 
@@ -141,7 +142,7 @@ class Histogram:
     bucket width).
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count", "max")
+    __slots__ = ("bounds", "counts", "sum", "count", "max", "exemplars")
     kind = "histogram"
 
     def __init__(self, bounds: Sequence[float] = LATENCY_BUCKETS):
@@ -155,6 +156,10 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
         self.max = 0.0
+        #: Lazily created ``{bucket_index: (value, trace_id, wall)}`` —
+        #: the most recent traced observation per bucket, linking the
+        #: distribution back to concrete causal traces.
+        self.exemplars: dict[int, tuple[float, int, float]] | None = None
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
@@ -162,6 +167,21 @@ class Histogram:
         self.count += 1
         if value > self.max:
             self.max = value
+
+    def exemplar(self, value: float, trace_id: int, *,
+                 wall: float | None = None) -> None:
+        """Tag ``value``'s bucket with the sampled trace that saw it.
+
+        Called *in addition to* :meth:`observe`, and only for values
+        observed on a sampled trace — so the cost is bounded by the
+        sampling rate, and every exemplar points at a trace whose
+        spans were actually recorded.
+        """
+        if self.exemplars is None:
+            self.exemplars = {}
+        index = bisect_left(self.bounds, value)
+        self.exemplars[index] = (value, trace_id,
+                                 wall if wall is not None else time.time())
 
     def cumulative(self) -> list[int]:
         """Cumulative bucket counts (Prometheus ``le`` semantics)."""
@@ -263,8 +283,13 @@ class MetricFamily:
         return child
 
     def series(self) -> Iterator[tuple[tuple[str, ...], object]]:
-        """All (label values, child) pairs, insertion-ordered."""
-        return iter(self._children.items())
+        """All (label values, child) pairs, insertion-ordered.
+
+        Iterates over a point-in-time copy, so a concurrent recording
+        thread creating a new child mid-collection cannot blow up the
+        exporter with ``dictionary changed size during iteration``.
+        """
+        return iter(tuple(self._children.items()))
 
     def __len__(self) -> int:
         return len(self._children)
@@ -334,18 +359,19 @@ class MetricsRegistry:
         return self._families.get(name)
 
     def collect(self) -> Iterator[MetricFamily]:
-        """All registered families, registration-ordered."""
-        return iter(self._families.values())
+        """All registered families, registration-ordered (snapshot
+        copy — safe against concurrent registration)."""
+        return iter(tuple(self._families.values()))
 
     def snapshot(self) -> dict:
         """Plain-data rendering of every series (JSON-friendly)."""
         out: dict = {}
-        for family in self._families.values():
+        for family in self.collect():
             series = []
             for values, child in family.series():
                 labels = dict(zip(family.label_names, values))
                 if family.kind == "histogram":
-                    series.append({
+                    entry = {
                         "labels": labels,
                         "count": child.count,
                         "sum": child.sum,
@@ -356,7 +382,14 @@ class MetricsRegistry:
                         "p50": child.quantile(0.5),
                         "p95": child.quantile(0.95),
                         "p99": child.quantile(0.99),
-                    })
+                    }
+                    if child.exemplars:
+                        entry["exemplars"] = [
+                            {"value": value, "trace_id": trace_id,
+                             "wall": wall}
+                            for _, (value, trace_id, wall)
+                            in sorted(tuple(child.exemplars.items()))]
+                    series.append(entry)
                 else:
                     series.append({"labels": labels,
                                    "value": child.current()})

@@ -1,0 +1,420 @@
+"""Causal tracing with security provenance.
+
+This module turns the flat :class:`~repro.observability.trace.SpanEvent`
+stream into *causal* traces:
+
+* Every element the engine ingests opens a **trace** — a root span with
+  a fresh ``trace_id`` — and each operator that touches it opens a
+  child span (``parent_id`` chains back to the root), with durations
+  measured on the monotonic clock.
+* Security decisions (shield pass/drop, denial-by-default, access
+  filter drops, optimizer Table II rewrites) attach a **provenance
+  record**: a ``provenance.*`` span naming the governing security
+  punctuation, the policy it resolved to and the role match, so
+  :func:`reconstruct_why` can rebuild "why was tuple *t* dropped /
+  delivered?" from the trace alone — no stream replay.
+* **Head-based sampling** keeps the cost low enough to leave on: the
+  sampling verdict is a pure function of the trace id (a multiplicative
+  hash against a threshold), so identical runs sample identical traces.
+  **Tail-based keep** overrides the head verdict for the records you
+  never want to lose: drops, denial-by-default and ``health.alert``
+  events are emitted even on unsampled traces.
+* Everything emitted also lands in an always-on bounded
+  :class:`FlightRecorder`; the :class:`~repro.observability.health.HealthMonitor`
+  dumps a window of it to JSONL when an alert fires, giving a
+  retroactive look at the spans *leading up to* the problem.
+
+The :class:`Tracer` is itself a :class:`TraceSink` (``enabled`` is
+True), so the engine's existing flat control points — ``executor.run``,
+``session.push``, ``analyzer.batch`` — flow through it unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from .trace import NullTraceSink, RingBufferTraceSink, SpanEvent, TraceSink
+
+__all__ = ["DEFAULT_SAMPLE_RATE", "TraceContext", "FlightRecorder",
+           "Tracer", "WhyReport", "reconstruct_why"]
+
+#: Default head-sampling rate for the ``with_tracing`` tier: roughly
+#: one trace in 64 carries full operator spans; security drops are
+#: kept regardless (tail-based keep).
+DEFAULT_SAMPLE_RATE = 1.0 / 64.0
+
+# Knuth's multiplicative hash constant (2^32 / phi). Sampling uses
+# hash(trace_id) < threshold so the verdict is deterministic per id
+# and uniformly distributed across ids.
+_HASH = 2654435761
+_MASK = 0xFFFFFFFF
+
+
+def _sampled(trace_id: int, threshold: int) -> bool:
+    return (trace_id * _HASH) & _MASK < threshold
+
+
+class TraceContext:
+    """Immutable causal coordinates of one span: who am I, who made me."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: int, span_id: int,
+                 parent_id: int | None = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def child(self, span_id: int) -> "TraceContext":
+        return TraceContext(self.trace_id, span_id, self.span_id)
+
+    def __repr__(self) -> str:
+        return (f"TraceContext(trace_id={self.trace_id}, "
+                f"span_id={self.span_id}, parent_id={self.parent_id})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceContext):
+            return NotImplemented
+        return (self.trace_id == other.trace_id
+                and self.span_id == other.span_id
+                and self.parent_id == other.parent_id)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.parent_id))
+
+
+class FlightRecorder(RingBufferTraceSink):
+    """Always-on bounded ring of recent spans, dumpable after the fact.
+
+    Unlike a plain ring sink it knows how to cut a *window*: the
+    health monitor asks for "everything since N seconds before the
+    alert" and writes it to JSONL for post-mortem inspection.
+    """
+
+    def window(self, since_wall: float) -> list[SpanEvent]:
+        return [e for e in self.events() if e.wall >= since_wall]
+
+    def dump_jsonl(self, path: str, *,
+                   since_wall: float | None = None) -> int:
+        events = (self.events() if since_wall is None
+                  else self.window(since_wall))
+        with open(path, "w", encoding="utf-8") as fp:
+            for event in events:
+                fp.write(json.dumps(event.to_dict(), default=str,
+                                    separators=(",", ":")))
+                fp.write("\n")
+        return len(events)
+
+
+class Tracer(TraceSink):
+    """Causal tracer: samples traces, keeps security decisions.
+
+    Drop-in anywhere a :class:`TraceSink` is expected (``enabled`` is
+    True so flat control spans keep flowing), but the engine gives it
+    extra calls:
+
+    * :meth:`begin` — on each ingested element: allocate a trace id,
+      take the sampling decision, open the root span if sampled.
+    * :meth:`op_span` — child span per operator invocation (only on
+      sampled traces — callers check :attr:`active`).
+    * :meth:`decision` — security-provenance record; ``keep=True``
+      (drops, denials) bypasses sampling.
+    * :meth:`event` — ad-hoc event with the same keep override, used
+      for ``health.alert``.
+
+    Every emission lands in the always-on :attr:`recorder` ring and,
+    when one is configured, the external :attr:`sink`.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: TraceSink | None = None, *,
+                 sample: float = DEFAULT_SAMPLE_RATE,
+                 recorder_capacity: int = 4096):
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample rate must be within [0, 1]")
+        self.sink = sink if sink is not None else NullTraceSink()
+        self.sample = sample
+        self._threshold = int(sample * 2**32)
+        self.recorder = FlightRecorder(recorder_capacity)
+        # Bound method of the recorder's ring deque — the inlined
+        # emission path in :meth:`record` appends through this to skip
+        # two method hops per kept record (same package, stable ref:
+        # the recorder and its deque live as long as the tracer).
+        self._ring_append = self.recorder._events.append  # noqa: SLF001
+        self._trace_seq = 0
+        self._span_seq = 0
+        self._flat_seq = 0
+        self._trace_id = 0
+        self._root_id = 0
+        #: True while the current trace is head-sampled: operator
+        #: spans and pass-records are only worth building then.
+        self.active = False
+        self.traces = 0
+        self.sampled_traces = 0
+
+    # ------------------------------------------------------------------
+    # emission plumbing
+
+    def _emit(self, event: SpanEvent) -> None:
+        self.recorder.emit(event)
+        if self.sink.enabled:
+            self.sink.emit(event)
+
+    def _emit_new(self, name: str, attrs: dict,
+                  trace_id: "int | None" = None,
+                  span_id: "int | None" = None,
+                  parent_id: "int | None" = None) -> None:
+        """Build and emit a stamped event, bypassing the frozen
+        dataclass ``__init__`` (7 ``object.__setattr__`` calls) on the
+        hot path — kept drop records are emitted on every trace, so
+        construction cost is part of the tracing overhead budget."""
+        event = SpanEvent.__new__(SpanEvent)
+        event.__dict__.update(
+            name=name, wall=time.time(), attrs=attrs,
+            mono=time.perf_counter_ns(), trace_id=trace_id,
+            span_id=span_id, parent_id=parent_id)
+        self.recorder.emit(event)
+        if self.sink.enabled:
+            self.sink.emit(event)
+
+    def emit(self, event: SpanEvent) -> None:
+        """TraceSink protocol: forward externally-built events."""
+        self._emit(event)
+
+    def span(self, name: str, **attrs) -> None:
+        """Flat control span (no causal ids) — head-sampled.
+
+        High-frequency control points (``analyzer.batch``, one per
+        sp-batch) flow through here; sampling them like everything
+        else keeps the always-on tier within its overhead budget and
+        stops them crowding security records out of the flight
+        recorder.  At ``sample=1.0`` (the ``in_memory`` tier) every
+        span is kept, so plain-sink consumers see no change.
+        """
+        self._flat_seq = seq = self._flat_seq + 1
+        if (seq * _HASH) & _MASK < self._threshold:
+            self._emit_new(name, attrs)
+
+    def close(self) -> None:
+        self.sink.close()
+
+    # ------------------------------------------------------------------
+    # causal API
+
+    def begin(self, kind: str, *, stream: str | None = None,
+              ts: int | None = None, size: int = 1,
+              name: str = "ingest") -> bool:
+        """Open a trace for one ingested element; returns sampled?"""
+        self._trace_seq = tid = self._trace_seq + 1
+        self.traces += 1
+        self._trace_id = tid
+        # _sampled(), inlined: begin() runs once per pushed element,
+        # and at the default rate 63/64 calls end right here.
+        if (tid * _HASH) & _MASK >= self._threshold:
+            self.active = False
+            self._root_id = 0
+            return False
+        self.sampled_traces += 1
+        self.active = True
+        self._span_seq = sid = self._span_seq + 1
+        self._root_id = sid
+        attrs: dict = {"kind": kind, "size": size}
+        if stream is not None:
+            attrs["stream"] = stream
+        if ts is not None:
+            attrs["ts"] = ts
+        self._emit_new(name, attrs, trace_id=tid, span_id=sid)
+        return True
+
+    @property
+    def trace_id(self) -> int:
+        """Id of the current (most recently begun) trace."""
+        return self._trace_id
+
+    def trace_ref(self) -> int | None:
+        """Current trace id if the trace is sampled, else None."""
+        return self._trace_id if self.active else None
+
+    def context(self) -> TraceContext | None:
+        """Root context of the current trace when sampled."""
+        if not self.active:
+            return None
+        return TraceContext(self._trace_id, self._root_id)
+
+    def op_span(self, name: str, parent_id: int, dur_ns: int,
+                **attrs) -> int:
+        """Emit a completed child span; returns its span id.
+
+        Callers only invoke this on sampled traces (:attr:`active`),
+        passing the duration they measured on the monotonic clock.
+        """
+        self._span_seq = sid = self._span_seq + 1
+        attrs["dur_ns"] = dur_ns
+        self._emit_new(name, attrs, trace_id=self._trace_id,
+                       span_id=sid, parent_id=parent_id or None)
+        return sid
+
+    def decision(self, kind: str, *, operator: str,
+                 verdict: str, query: str | None = None,
+                 keep: bool = False, **attrs) -> None:
+        """Attach a security-provenance record to the current trace.
+
+        ``kind`` names the decision site ("shield.drop",
+        "filter.pass", "optimizer.rewrite", ...); the event is named
+        ``provenance.<kind>``. ``keep=True`` marks records that must
+        survive head sampling (drops, denial-by-default, rewrites).
+        """
+        if not (self.active or keep):
+            return
+        attrs["operator"] = operator
+        attrs["verdict"] = verdict
+        if query is not None:
+            attrs["query"] = query
+        self._span_seq = sid = self._span_seq + 1
+        self._emit_new("provenance." + kind, attrs,
+                       trace_id=self._trace_id or None, span_id=sid,
+                       parent_id=self._root_id or None)
+
+    def record(self, name: str, attrs: dict, *, keep: bool = False) -> None:
+        """:meth:`decision` with a pre-built attrs dict and full name.
+
+        The operators' hot path: shields build the whole attrs mapping
+        in one dict display and pass the complete event name
+        (``"provenance.shield.drop"``) as an interned constant — no
+        prefix concatenation, no keyword-argument repacking.  The dict
+        is owned by the emitted event — never reuse it.  Emission is
+        fully inlined (no :meth:`_emit_new` hop): kept drop records
+        run on every trace, sampled or not.
+        """
+        if not (self.active or keep):
+            return
+        self._span_seq = sid = self._span_seq + 1
+        event = SpanEvent.__new__(SpanEvent)
+        d = event.__dict__
+        d["name"] = name
+        d["wall"] = time.time()
+        d["attrs"] = attrs
+        d["mono"] = time.perf_counter_ns()
+        d["trace_id"] = self._trace_id or None
+        d["span_id"] = sid
+        d["parent_id"] = self._root_id or None
+        self._ring_append(event)
+        if self.sink.enabled:
+            self.sink.emit(event)
+
+    def event(self, name: str, *, keep: bool = False, **attrs) -> None:
+        """Ad-hoc causal event (health alerts use ``keep=True``)."""
+        if not (self.active or keep):
+            return
+        self._span_seq = sid = self._span_seq + 1
+        self._emit_new(name, attrs, trace_id=self._trace_id or None,
+                       span_id=sid, parent_id=self._root_id or None)
+
+    # ------------------------------------------------------------------
+    # recorder views (keeps in-memory consumers working unchanged)
+
+    def events(self, name: str | None = None) -> list[SpanEvent]:
+        return self.recorder.events(name)
+
+    def clear(self) -> None:
+        self.recorder.clear()
+
+    def __len__(self) -> int:
+        return len(self.recorder)
+
+
+# ----------------------------------------------------------------------
+# why-reconstruction
+
+
+def _mentions(event: SpanEvent, tid: object) -> bool:
+    attrs = event.attrs
+    if attrs.get("tid") == tid:
+        return True
+    tids = attrs.get("tids")
+    if tids and tid in tids:
+        return True
+    run = attrs.get("_run")
+    return run is not None and any(t.tid == tid for t in run)
+
+
+class WhyReport:
+    """Reconstructed decision chain for one tuple id."""
+
+    def __init__(self, tid: object, decisions: list[SpanEvent],
+                 audit_events: list | None = None):
+        self.tid = tid
+        self.decisions = decisions
+        self.audit_events = audit_events or []
+
+    @property
+    def delivered_queries(self) -> list[str]:
+        """Queries whose delivery shield passed the tuple."""
+        out = []
+        for event in self.decisions:
+            operator = event.attrs.get("operator", "")
+            if (operator.startswith("delivery:")
+                    and event.attrs.get("verdict") == "pass"):
+                query = operator.split(":", 1)[1]
+                if query not in out:
+                    out.append(query)
+        return out
+
+    @property
+    def denials(self) -> list[SpanEvent]:
+        return [e for e in self.decisions
+                if e.attrs.get("verdict") in ("drop", "denied")]
+
+    def found(self) -> bool:
+        return bool(self.decisions or self.audit_events)
+
+    def render_text(self) -> str:
+        lines = [f"tuple {self.tid}:"]
+        for event in self.decisions:
+            a = event.attrs
+            where = a.get("operator", "?")
+            verdict = a.get("verdict", "?")
+            ref = (f"  trace {event.trace_id}"
+                   if event.trace_id is not None else "")
+            lines.append(f"  {event.name} at {where}: {verdict}{ref}")
+            sp = a.get("sp")
+            if sp:
+                lines.append(f"    governed by sp: {sp}")
+            elif a.get("denial_by_default"):
+                lines.append("    no applicable sp (denial-by-default)")
+            policy = a.get("policy")
+            if policy:
+                lines.append(f"    policy roles: {', '.join(policy)}")
+            predicate = a.get("predicate")
+            if predicate:
+                lines.append(f"    role predicate: "
+                             f"{', '.join(predicate)}")
+        delivered = self.delivered_queries
+        if delivered:
+            lines.append(f"  delivered to: {', '.join(delivered)}")
+        elif self.denials:
+            lines.append("  not delivered (denied)")
+        for record in self.audit_events:
+            lines.append(f"  audit: {record}")
+        if not self.found():
+            lines.append("  no trace or audit records found")
+        return "\n".join(lines)
+
+
+def reconstruct_why(tid: object, spans: list[SpanEvent],
+                    audit=None) -> WhyReport:
+    """Rebuild the decision chain for tuple ``tid`` from spans + audit.
+
+    ``spans`` is any iterable of :class:`SpanEvent` (typically
+    ``tracer.events()`` or a parsed flight-recorder dump); provenance
+    records matching the tuple — directly via ``tid`` or through a
+    run-level ``tids`` list — are collected in emission order.
+    ``audit``, when given, is an ``AuditLog`` whose ``explain(tid)``
+    records are merged in for the full paper-level audit trail.
+    """
+    decisions = [e for e in spans
+                 if e.name.startswith("provenance.") and _mentions(e, tid)]
+    audit_events = list(audit.explain(tid)) if audit is not None else []
+    return WhyReport(tid, decisions, audit_events)

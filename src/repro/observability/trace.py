@@ -6,11 +6,20 @@ close) and the SP Analyzer (per processed sp-batch).  The protocol is
 deliberately tiny — ``enabled`` plus ``emit`` — so emission sites can
 guard attribute construction behind a single flag check and the
 default :class:`NullTraceSink` costs nothing on the hot path.
+
+Every event carries *two* timestamps: ``wall`` (``time.time()``, for
+correlation with external logs) and ``mono`` (``time.perf_counter_ns()``,
+monotonic — durations derived from it can never go negative under a
+wall-clock adjustment).  Causal tracing (trace / span / parent ids,
+sampling, provenance records) lives in
+:mod:`repro.observability.provenance`; the optional id fields here are
+its carrier.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -28,13 +37,39 @@ class SpanEvent:
     #: Wall-clock time of emission (``time.time()``).
     wall: float
     attrs: dict = field(default_factory=dict)
+    #: Monotonic emission time (``time.perf_counter_ns()``); ``None``
+    #: only for events constructed by hand without a clock.
+    mono: int | None = None
+    #: Causal trace context (see ``repro.observability.provenance``);
+    #: ``None`` on flat control-point events.
+    trace_id: int | None = None
+    span_id: int | None = None
+    parent_id: int | None = None
 
     def to_dict(self) -> dict:
-        return {"name": self.name, "wall": self.wall, **self.attrs}
+        record = {"name": self.name, "wall": self.wall}
+        if self.mono is not None:
+            record["mono"] = self.mono
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        record.update(self.attrs)
+        run = record.pop("_run", None)
+        if run is not None:
+            # Lazily-built run record (see SecurityShield._prov_run):
+            # the denied run's tuple ids are rendered only when the
+            # event is actually serialized, not on the drop hot path.
+            record["tids"] = [t.tid for t in run]
+        return record
 
     def __str__(self) -> str:
         parts = " ".join(f"{k}={v}" for k, v in self.attrs.items())
-        return f"{self.name} {parts}".rstrip()
+        prefix = (f"[{self.trace_id}:{self.span_id}] "
+                  if self.trace_id is not None else "")
+        return f"{prefix}{self.name} {parts}".rstrip()
 
 
 class TraceSink:
@@ -52,7 +87,8 @@ class TraceSink:
     def span(self, name: str, **attrs) -> None:
         """Convenience: build and emit one event stamped now."""
         if self.enabled:
-            self.emit(SpanEvent(name, time.time(), attrs))
+            self.emit(SpanEvent(name, time.time(), attrs,
+                                mono=time.perf_counter_ns()))
 
     def close(self) -> None:
         """Release resources (file sinks); default no-op."""
@@ -91,25 +127,68 @@ class RingBufferTraceSink(TraceSink):
 
 
 class JsonlTraceSink(TraceSink):
-    """Streams every event to a JSONL file (or open file object)."""
+    """Streams every event to a JSONL file (or open file object).
 
-    def __init__(self, target: "str | IO[str]"):
+    ``max_bytes`` bounds the trace file of a long (or crashing) run:
+    when the current file would exceed the cap, it is rotated to
+    ``<path>.1`` (replacing any previous rotation) and a fresh file is
+    started — at most ``2 * max_bytes`` ever sit on disk.  Rotation
+    applies only to path-owned sinks; caller-owned file objects are
+    never rotated (or closed), only flushed.
+    """
+
+    def __init__(self, target: "str | IO[str]", *,
+                 max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
         if isinstance(target, str):
+            self._path: str | None = target
             self._fp: IO[str] = open(target, "w", encoding="utf-8")
             self._owned = True
         else:
+            self._path = None
             self._fp = target
             self._owned = False
+        self.max_bytes = max_bytes
+        self._written = 0
         self.emitted = 0
+        #: Completed rotations (0 until ``max_bytes`` first overflows).
+        self.rotations = 0
 
     def emit(self, event: SpanEvent) -> None:
-        self._fp.write(json.dumps(event.to_dict(), default=str,
-                                  separators=(",", ":")))
+        line = json.dumps(event.to_dict(), default=str,
+                          separators=(",", ":"))
+        if (self.max_bytes is not None and self._owned
+                and self._written
+                and self._written + len(line) + 1 > self.max_bytes):
+            self._rotate()
+        self._fp.write(line)
         self._fp.write("\n")
+        self._written += len(line) + 1
         self.emitted += 1
 
+    def _rotate(self) -> None:
+        assert self._path is not None
+        self._fp.close()
+        os.replace(self._path, self._path + ".1")
+        self._fp = open(self._path, "w", encoding="utf-8")
+        self._written = 0
+        self.rotations += 1
+
     def close(self) -> None:
-        if self._owned and not self._fp.closed:
+        """Flush (and, for path-owned sinks, close) the trace file.
+
+        Called from ``__exit__`` on both the clean and the error path,
+        so a crashing traced run never loses buffered events.  A
+        closed sink reports ``enabled = False``, so late emitters — a
+        health alert firing during shutdown, a tracer outliving its
+        sink — skip it instead of hitting a closed file.
+        """
+        self.enabled = False
+        if self._fp.closed:
+            return
+        self._fp.flush()
+        if self._owned:
             self._fp.close()
 
     def __enter__(self) -> "JsonlTraceSink":

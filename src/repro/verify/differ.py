@@ -114,10 +114,16 @@ class EngineConfig:
     #: Columnar tier: segment-batched execution with fused
     #: shield/select/project chains over column batches.
     columnar: bool = False
+    #: Causal-tracing tier: run under ``Observability.with_tracing()``
+    #: so sampling, provenance records and op spans are live.  Tracing
+    #: must never change what is delivered — this config proves it.
+    traced: bool = False
 
     @property
     def mode(self) -> str:
         """The execution mode axis: elementwise / batched / columnar."""
+        if self.traced:
+            return "traced"
         if self.columnar:
             return "columnar"
         return "batched" if self.batching else "elementwise"
@@ -143,6 +149,8 @@ def configs_for(scenario: Scenario) -> list[EngineConfig]:
                     columnar=columnar))
     configs.append(EngineConfig(label="audited/nl/none", batching=False,
                                 join_variant="nl", level="none", audit=True))
+    configs.append(EngineConfig(label="traced/nl/none", batching=True,
+                                join_variant="nl", level="none", traced=True))
     return configs
 
 
@@ -174,8 +182,16 @@ def _decode_sink(elements: Iterable[StreamElement]) -> Counter:
 def run_engine(scenario: Scenario, config: EngineConfig,
                element_mutator: ElementMutator | None = None) -> EngineOutcome:
     """Run one engine configuration over a scenario."""
-    dsms = DSMS(observability=Observability.in_memory()
-                if config.audit else None)
+    if config.audit:
+        observability: Observability | None = Observability.in_memory()
+    elif config.traced:
+        # Full-rate sampling: every trace pays the provenance cost, so
+        # any result-changing interference tracing could cause is
+        # maximally exposed.
+        observability = Observability.with_tracing(sample=1.0)
+    else:
+        observability = None
+    dsms = DSMS(observability=observability)
     for sid, spec in scenario.streams.items():
         elements = scenario.decoded()[sid]
         if element_mutator is not None:

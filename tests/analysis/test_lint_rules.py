@@ -80,6 +80,48 @@ class TestRL003:
         assert findings(lint_rules.check_rl003, source) == []
 
 
+class TestRL004:
+    def test_untraced_drop_counter(self):
+        source = (
+            "class Op:\n"
+            "    def f(self):\n"
+            "        self.tuples_blocked += 1\n"
+            "        self.audit.record('drop')\n")
+        found = findings(lint_rules.check_rl004, source)
+        assert len(found) == 1
+        assert found[0].rule == "RL004"
+        assert "Op" in found[0].message
+
+    def test_traced_drop_counter_allowed(self):
+        source = (
+            "class Op:\n"
+            "    def f(self):\n"
+            "        self.tuples_blocked += 1\n"
+            "        if self._tracer is not None:\n"
+            "            self._tracer.record('provenance.shield.drop', {})\n")
+        assert findings(lint_rules.check_rl004, source) == []
+
+    def test_raw_spanevent_flagged(self):
+        found = findings(lint_rules.check_rl004,
+                         "ev = SpanEvent('x', 1, 2, 0, 'op', {})\n")
+        assert len(found) == 1
+        assert "SpanEvent" in found[0].message
+
+    def test_flat_span_call_flagged(self):
+        found = findings(lint_rules.check_rl004,
+                         "tracer.span('shield', {})\n")
+        assert len(found) == 1
+        assert ".span" in found[0].message
+
+    def test_tracer_api_calls_allowed(self):
+        source = (
+            "tracer.record('provenance.shield.pass', {})\n"
+            "tracer.decision('shield', 'pass', {})\n"
+            "with tracer.op_span('shield'):\n"
+            "    pass\n")
+        assert findings(lint_rules.check_rl004, source) == []
+
+
 class TestWholeTree:
     def test_src_repro_is_clean(self):
         result = subprocess.run(

@@ -57,6 +57,70 @@ class TestPrometheusText:
         samples = parse_prometheus(render_prometheus(registry))
         assert samples["esc_total"][0][0]["who"] == tricky
 
+    @pytest.mark.parametrize("value", [
+        'quote " inside',
+        "newline\nsplits the line",
+        "backslash \\ and tab\there",
+        'all three: "\\\n"',
+        "trailing backslash \\",
+        "\\n literal-escape lookalike",
+        "unicode: ψ-shield über señor 診療",
+        "",
+    ])
+    def test_adversarial_label_values_round_trip(self, value):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", labels=("who",)).labels(
+            value).inc(2)
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples["esc_total"] == [({"who": value}, 2.0)]
+
+    def test_adversarial_values_in_multiple_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("multi_total", labels=("a", "b")).labels(
+            'x="1"\n', "\\,}").inc()
+        ((labels, value),) = parse_prometheus(
+            render_prometheus(registry))["multi_total"]
+        assert labels == {"a": 'x="1"\n', "b": "\\,}"}
+        assert value == 1.0
+
+    def test_concurrent_updates_never_torn_snapshots(self):
+        """Scrapes racing writers always parse and never go backwards."""
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("race_total", labels=("w",))
+        hist = registry.histogram("race_seconds",
+                                  buckets=(0.1, 1.0))
+        stop = threading.Event()
+
+        def writer(name):
+            series = counter.labels(name)
+            while not stop.is_set():
+                series.inc()
+                hist.observe(0.5)
+
+        workers = [threading.Thread(target=writer, args=(f"w{i}",))
+                   for i in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            last_count = 0.0
+            for _ in range(50):
+                samples = parse_prometheus(render_prometheus(registry))
+                total = sum(v for _, v in samples.get("race_total", []))
+                assert total >= last_count
+                last_count = total
+                if "race_seconds_bucket" in samples:
+                    buckets = {labels["le"]: v for labels, v
+                               in samples["race_seconds_bucket"]}
+                    # cumulative le semantics hold within one snapshot
+                    assert buckets["0.1"] <= buckets["1"] <= buckets["+Inf"]
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+        assert last_count > 0
+
     def test_empty_families_are_omitted(self):
         registry = MetricsRegistry()
         registry.counter("never_used_total", "no series yet")

@@ -96,3 +96,48 @@ class TestAlertRouting:
         monitor.check()
         monitor.check()
         assert len(monitor.alerts) == 2
+
+    def test_causal_alert_survives_head_sampling(self, instruments):
+        from repro.observability.provenance import Tracer
+
+        tracer = Tracer(sample=0.0)  # no trace is ever head-sampled
+        instruments.mark_ingest(0.0)
+        monitor = make_monitor(instruments, now=50.0, stall_after=5.0,
+                               tracer=tracer)
+        monitor.check()
+        (span,) = tracer.events("health.alert")
+        assert span.attrs["rule"] == "stalled_stream"
+        assert span.span_id is not None
+
+    def test_alert_dumps_flight_recorder_window(self, instruments,
+                                                tmp_path):
+        import json
+
+        from repro.observability.provenance import Tracer
+
+        tracer = Tracer(sample=1.0)
+        for i in range(5):
+            tracer.begin("tuple")
+            tracer.record("provenance.shield.drop",
+                          {"tid": i, "verdict": "drop"}, keep=True)
+        path = tmp_path / "flight.jsonl"
+        instruments.mark_ingest(0.0)
+        monitor = make_monitor(instruments, now=50.0, stall_after=5.0,
+                               tracer=tracer, flight_path=str(path))
+        monitor.check()
+        assert monitor.flight_dumps and monitor.flight_dumps[0][0] \
+            == str(path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == monitor.flight_dumps[0][1]
+        # spans leading up to the alert AND the alert itself are there
+        names = [r["name"] for r in records]
+        assert "provenance.shield.drop" in names
+        assert "health.alert" in names
+        # second check with no new alert: no second dump
+        monitor.check()
+        assert len(monitor.flight_dumps) == 2  # stall still firing
+        instruments.mark_ingest(49.0)
+        flights = len(monitor.flight_dumps)
+        monitor.check()
+        assert len(monitor.flight_dumps) == flights

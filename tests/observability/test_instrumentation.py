@@ -214,6 +214,54 @@ class TestSPIndexGauges:
         assert scanned > 0
 
 
+class TestExemplars:
+    def test_latency_exemplars_point_at_sampled_traces(self):
+        from repro.observability.export import render_json
+        import json
+
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.provenance import Tracer
+
+        tracer = Tracer(sample=1.0)
+        dsms = DSMS(observability=Observability(
+            tracer=tracer, metrics=MetricsRegistry()))
+        dsms.register_stream(SCHEMA, [
+            SecurityPunctuation.grant(["D"], 0.0, provider="p"),
+            reading(1, 1.0), reading(2, 2.0),
+        ])
+        dsms.register_query("q", ScanExpr("s1"), roles={"D"})
+        dsms.run()
+        instruments = dsms.observability.instruments
+        latency = get_series(instruments, "repro_operator_latency_seconds")
+        tagged = [child for child in latency.values() if child.exemplars]
+        assert tagged, "no latency bucket carries an exemplar"
+        trace_ids = {trace_id for child in tagged
+                     for _, trace_id, _ in child.exemplars.values()}
+        assert trace_ids <= set(range(1, tracer.traces + 1))
+        # exemplars surface in the JSON exposition
+        snapshot = json.loads(render_json(
+            dsms.observability.metrics))
+        entries = snapshot["repro_operator_latency_seconds"]["series"]
+        assert any("exemplars" in entry for entry in entries)
+
+    def test_unsampled_traces_leave_no_exemplars(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.provenance import Tracer
+
+        dsms = DSMS(observability=Observability(
+            tracer=Tracer(sample=0.0), metrics=MetricsRegistry()))
+        dsms.register_stream(SCHEMA, [
+            SecurityPunctuation.grant(["D"], 0.0, provider="p"),
+            reading(1, 1.0),
+        ])
+        dsms.register_query("q", ScanExpr("s1"), roles={"D"})
+        dsms.run()
+        latency = get_series(dsms.observability.instruments,
+                             "repro_operator_latency_seconds")
+        assert all(child.exemplars is None
+                   for child in latency.values())
+
+
 class TestZeroCostWhenOff:
     def test_disabled_dsms_has_no_instruments(self):
         dsms = make_dsms(Observability.disabled())

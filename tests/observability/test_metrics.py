@@ -88,6 +88,17 @@ class TestHistogram:
         assert h.max == pytest.approx(3.0)
         assert h.mean() == pytest.approx(2.0)
 
+    def test_exemplars_tag_buckets_with_trace_ids(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        assert h.exemplars is None  # lazy: no dict until first tag
+        h.observe(0.5)
+        h.exemplar(0.5, trace_id=7, wall=10.0)
+        h.observe(1.5)
+        h.exemplar(1.5, trace_id=8, wall=11.0)
+        h.observe(0.6)
+        h.exemplar(0.6, trace_id=9, wall=12.0)  # replaces bucket 0's
+        assert h.exemplars == {0: (0.6, 9, 12.0), 1: (1.5, 8, 11.0)}
+
     def test_rejects_unsorted_bounds(self):
         with pytest.raises(ValueError):
             Histogram(bounds=(2.0, 1.0))

@@ -114,3 +114,70 @@ class TestJsonlTraceSink:
         sink.close()
         assert not buffer.closed
         assert json.loads(buffer.getvalue())["n"] == 1
+
+    def test_events_carry_monotonic_stamps(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        sink.span("a")
+        sink.span("b")
+        monos = [json.loads(line)["mono"]
+                 for line in buffer.getvalue().splitlines()]
+        assert all(isinstance(m, int) for m in monos)
+        assert monos[0] <= monos[1]
+
+    def test_max_bytes_rotation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path), max_bytes=400)
+        for i in range(100):
+            sink.span("tick", i=i)
+        sink.close()
+        assert sink.rotations >= 1
+        rotated = tmp_path / "trace.jsonl.1"
+        assert rotated.exists()
+        assert rotated.stat().st_size <= 400
+        assert path.stat().st_size <= 400
+        # the live file continues the stream the rotation cut
+        last_rotated = json.loads(
+            rotated.read_text().splitlines()[-1])["i"]
+        first_current = json.loads(
+            path.read_text().splitlines()[0])["i"]
+        assert first_current == last_rotated + 1
+        assert json.loads(path.read_text().splitlines()[-1])["i"] == 99
+
+    def test_rotation_never_touches_caller_owned_files(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer, max_bytes=10)
+        for i in range(20):
+            sink.span("tick", i=i)
+        assert sink.rotations == 0
+        assert len(buffer.getvalue().splitlines()) == 20
+
+    def test_closed_sink_reads_as_disabled(self, tmp_path):
+        from repro.observability.provenance import Tracer
+
+        sink = JsonlTraceSink(str(tmp_path / "trace.jsonl"))
+        tracer = Tracer(sink, sample=1.0)
+        tracer.begin("tuple")
+        sink.close()
+        assert not sink.enabled
+        # late emitters (e.g. a shutdown health alert) skip the sink
+        tracer.event("health.alert", keep=True, rule="stall")
+        (span,) = tracer.events("health.alert")
+        assert span.attrs["rule"] == "stall"
+
+    def test_rejects_nonpositive_max_bytes(self):
+        with pytest.raises(ValueError):
+            JsonlTraceSink(io.StringIO(), max_bytes=0)
+
+    def test_context_manager_flushes_on_error_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlTraceSink(str(path)) as sink:
+                sink.span("before.crash", n=1)
+                raise RuntimeError("traced run crashed")
+        # __exit__ closed (hence flushed) the file despite the error
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["name"] == "before.crash"
+        with pytest.raises(ValueError):
+            sink._fp.write("x")  # file is really closed
+        sink.close()  # idempotent on a closed sink
