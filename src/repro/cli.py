@@ -197,6 +197,8 @@ def _observed_run(args: argparse.Namespace):
     roles = frozenset(r.strip() for r in args.roles.split(",") if r.strip())
     if not roles:
         raise ReproError("provide at least one role via --roles")
+    if args.shards is not None and args.shards < 1:
+        raise ReproError("--shards takes a worker count >= 1")
     if args.query:
         from repro.core.punctuation import SecurityPunctuation
         from repro.cql.translator import compile_statement
@@ -211,7 +213,8 @@ def _observed_run(args: argparse.Namespace):
     dsms = DSMS(observability=Observability.in_memory())
     dsms.register_stream(StreamSchema(stream_id, attributes), elements)
     dsms.register_query("q", expr, roles=roles)
-    results = dsms.run(optimize=OptimizeLevel(args.optimize))
+    results = dsms.run(optimize=OptimizeLevel(args.optimize),
+                       shards=args.shards)
     return dsms, results
 
 
@@ -226,6 +229,10 @@ def _add_observed_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--optimize", default="none",
                         choices=["none", "per_query", "workload"],
                         help="plan optimization level")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run on the partitioned multi-process "
+                             "executor with N shard workers (default: "
+                             "single-process)")
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

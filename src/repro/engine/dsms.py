@@ -234,29 +234,19 @@ class DSMS:
         return tuple(self._live_shields.get(query_name, ()))
 
     # -- execution -----------------------------------------------------------
-    def build_plan(self, *,
-                   optimize: "OptimizeLevel | bool | str" = OptimizeLevel.NONE
-                   ) -> tuple[PhysicalPlan, dict[str, CollectingSink]]:
-        """Compile all registered queries into one shared physical plan.
+    def _optimized_exprs(self, level: OptimizeLevel
+                         ) -> dict[str, LogicalExpr]:
+        """Each registered query's logical plan at ``level``.
 
-        ``optimize`` is an :class:`~repro.engine.api.OptimizeLevel`:
-        ``NONE`` (compile as registered), ``PER_QUERY`` (optimize each
-        query in isolation) or ``WORKLOAD`` (Section VI.C multi-query
-        optimization: choose per-query plans that minimize the cost of
-        the workload with shared subplans counted once).  The legacy
-        ``False`` / ``True`` / ``"workload"`` values are accepted with
-        a :class:`DeprecationWarning`.
+        The optimization step shared by :meth:`build_plan` and the
+        sharded executor (:mod:`repro.engine.sharded`), so both paths
+        execute identical plans.  The executing engine must assume the
+        worst about runtime streams: attribute-granular sps, segments
+        with differing policies and real window semantics can all
+        occur, so the rewrites those facts invalidate stay off here
+        (pure-algebra exploration can still opt back in via its own
+        context).
         """
-        level = OptimizeLevel.coerce(optimize)
-        if not self.queries:
-            raise QueryError("no queries registered")
-        plan = PhysicalPlan(self.universe)
-        sinks: dict[str, CollectingSink] = {}
-        # The executing engine must assume the worst about runtime
-        # streams: attribute-granular sps, segments with differing
-        # policies and real window semantics can all occur, so the
-        # rewrites those facts invalidate stay off here (pure-algebra
-        # exploration can still opt back in via its own context).
         context = RewriteContext(
             policy_streams=self.catalog.policy_streams(),
             attribute_policies_possible=True,
@@ -268,8 +258,7 @@ class DSMS:
             })
         optimizer = Optimizer(context=context)
         optimizer.cost_model.catalog = self.catalog.statistics
-        self._live_shields = {}
-        workload_plans: dict[str, object] = {}
+        workload_plans: dict[str, LogicalExpr] = {}
         if level is OptimizeLevel.WORKLOAD:
             names = list(self.queries)
             result = optimizer.optimize_workload(
@@ -277,6 +266,7 @@ class DSMS:
             workload_plans = dict(zip(names, result.plans))
         tracer = self.observability.tracer
         causal = tracer if isinstance(tracer, Tracer) else None
+        exprs: dict[str, LogicalExpr] = {}
         for name, query in self.queries.items():
             expr = query.expr
             if level is OptimizeLevel.WORKLOAD:
@@ -295,6 +285,31 @@ class DSMS:
                         initial_cost=result.initial_cost,
                         cost=result.cost,
                         refusals=len(result.refusals))
+            exprs[name] = expr
+        return exprs
+
+    def build_plan(self, *,
+                   optimize: "OptimizeLevel | bool | str" = OptimizeLevel.NONE
+                   ) -> tuple[PhysicalPlan, dict[str, CollectingSink]]:
+        """Compile all registered queries into one shared physical plan.
+
+        ``optimize`` is an :class:`~repro.engine.api.OptimizeLevel`:
+        ``NONE`` (compile as registered), ``PER_QUERY`` (optimize each
+        query in isolation) or ``WORKLOAD`` (Section VI.C multi-query
+        optimization: choose per-query plans that minimize the cost of
+        the workload with shared subplans counted once).  The legacy
+        ``False`` / ``True`` / ``"workload"`` values are accepted with
+        a :class:`DeprecationWarning`.
+        """
+        level = OptimizeLevel.coerce(optimize)
+        if not self.queries:
+            raise QueryError("no queries registered")
+        plan = PhysicalPlan(self.universe)
+        sinks: dict[str, CollectingSink] = {}
+        self._live_shields = {}
+        exprs = self._optimized_exprs(level)
+        for name, query in self.queries.items():
+            expr = exprs[name]
             sink = CollectingSink(name=f"sink:{name}")
             # The delivery shield is a fixed final check: results are
             # handed only to subjects holding the query's roles, no
@@ -330,6 +345,8 @@ class DSMS:
                 operator.bind_metrics(instruments)
         # Causal tracing: every operator gets the tracer so security
         # decision sites can attach provenance records.
+        tracer = self.observability.tracer
+        causal = tracer if isinstance(tracer, Tracer) else None
         if causal is not None:
             for operator in plan.operators():
                 operator.bind_tracer(causal)
@@ -397,12 +414,23 @@ class DSMS:
             optimize: "OptimizeLevel | bool | str" = OptimizeLevel.NONE,
             analyze_sps: bool = True,
             batching: bool = True,
-            columnar: bool = True) -> dict[str, QueryResult]:
+            columnar: bool = True,
+            shards: int | None = None) -> dict[str, QueryResult]:
         """Execute all queries over all registered sources.
 
         ``optimize`` as in :meth:`build_plan` (an
         :class:`~repro.engine.api.OptimizeLevel`; legacy bool/str
         values accepted with a :class:`DeprecationWarning`).
+
+        ``shards`` selects the partitioned multi-process executor
+        (:mod:`repro.engine.sharded`): input streams are cut on
+        s-punctuated segment boundaries and hash-routed across
+        ``shards`` worker processes, each running its own SP Analyzer
+        and shield state; stateful operators and delivery run over the
+        merged, order-restored streams.  ``None`` (the default) keeps
+        the single-process path; results, drop counters and audit
+        streams are equivalent either way, per the differential
+        oracle.
 
         ``batching`` selects segment-batched execution (the default):
         runs of tuples sharing one sp-batch are pushed through the
@@ -419,6 +447,13 @@ class DSMS:
         layouts; results, counters and audit streams again stay
         identical, per the differential oracle.
         """
+        if shards is not None:
+            from repro.engine.sharded import run_sharded
+
+            return run_sharded(self, n_shards=shards,
+                               optimize=optimize,
+                               analyze_sps=analyze_sps,
+                               batching=batching, columnar=columnar)
         plan, sinks = self.build_plan(optimize=optimize)
         sources = (self._analyzed_sources() if analyze_sps
                    else self.catalog.sources())

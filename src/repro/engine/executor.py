@@ -62,13 +62,17 @@ class ExecutionReport:
     """Summary of one plan execution, including per-stage metrics."""
 
     __slots__ = ("elements_in", "tuples_in", "sps_in", "wall_time",
-                 "_stages", "_stage_index")
+                 "shard_timing", "_stages", "_stage_index")
 
     def __init__(self):
         self.elements_in = 0
         self.tuples_in = 0
         self.sps_in = 0
         self.wall_time = 0.0
+        #: Sharded-run timing breakdown (``repro.engine.sharded``):
+        #: serial partition/merge/suffix seconds plus per-worker CPU
+        #: seconds; ``None`` for single-process runs.
+        self.shard_timing: dict | None = None
         self.stages = []
 
     @property

@@ -335,6 +335,27 @@ class FusedChain:
         unary operators this per-stage sweep yields exactly the
         depth-first delivery order of the unfused executor.
         """
+        if len(batch.tuples) < MIN_FUSED_ROWS:
+            # Sub-threshold run: the row→column conversion costs more
+            # than the kernels save, so delegate to each operator's
+            # native segment-batched path instead of materializing a
+            # ColumnBatch.  Read from the module at call time so
+            # harnesses that lower the threshold around a run (the
+            # differential oracle pins it to 1) keep the kernels
+            # engaged.
+            plain: list[object] = [batch]
+            for stage in self.stages:
+                op = stage.op
+                nxt_plain: list[object] = []
+                for element in plain:
+                    if type(element) is TupleBatch:
+                        nxt_plain.extend(op.process_batch(element, 0))
+                    else:
+                        nxt_plain.extend(op.process(element, 0))
+                if not nxt_plain:
+                    return []
+                plain = nxt_plain
+            return plain  # type: ignore[return-value]
         frontier: list[object] = [ColumnBatch.from_batch(batch)]
         for stage in self.stages:
             nxt: list[object] = []

@@ -118,15 +118,29 @@ class EngineConfig:
     #: so sampling, provenance records and op spans are live.  Tracing
     #: must never change what is delivered — this config proves it.
     traced: bool = False
+    #: Sharded tier: run through ``DSMS.run(shards=n_shards)`` — the
+    #: partitioned multi-process executor — instead of in-process.
+    #: ``0`` keeps the single-process path.  Sharding must never change
+    #: what is delivered, denied or dropped; these configs prove it
+    #: (including ``n_shards=1``, which exercises the partition/merge
+    #: machinery with a single worker).
+    n_shards: int = 0
 
     @property
     def mode(self) -> str:
         """The execution mode axis: elementwise / batched / columnar."""
         if self.traced:
-            return "traced"
-        if self.columnar:
-            return "columnar"
-        return "batched" if self.batching else "elementwise"
+            base = "traced"
+        elif self.columnar:
+            base = "columnar"
+        else:
+            base = "batched" if self.batching else "elementwise"
+        if self.n_shards:
+            # Distinct mode label per shard count: the cross-mode drop
+            # consistency check then also proves sharded total drops
+            # equal every single-process mode's.
+            return f"sharded{self.n_shards}-{base}"
+        return base
 
 
 def configs_for(scenario: Scenario) -> list[EngineConfig]:
@@ -151,6 +165,24 @@ def configs_for(scenario: Scenario) -> list[EngineConfig]:
                                 join_variant="nl", level="none", audit=True))
     configs.append(EngineConfig(label="traced/nl/none", batching=True,
                                 join_variant="nl", level="none", traced=True))
+    # Sharded axis: the partitioned multi-process executor at 1, 2 and
+    # 4 workers, plus one columnar, one audited and (with a join in the
+    # workload) one index-join sharded run — every merge path crossed
+    # with every execution tier it composes with.
+    for n_shards in (1, 2, 4):
+        configs.append(EngineConfig(
+            label=f"sharded{n_shards}/nl/none", batching=True,
+            join_variant="nl", level="none", n_shards=n_shards))
+    if join:
+        configs.append(EngineConfig(
+            label="sharded2/index/none", batching=True,
+            join_variant="index", level="none", n_shards=2))
+    configs.append(EngineConfig(
+        label="sharded2-columnar/nl/none", batching=True,
+        join_variant="nl", level="none", columnar=True, n_shards=2))
+    configs.append(EngineConfig(
+        label="sharded2-audited/nl/none", batching=False,
+        join_variant="nl", level="none", audit=True, n_shards=2))
     return configs
 
 
@@ -213,12 +245,14 @@ def run_engine(scenario: Scenario, config: EngineConfig,
         fusion.MIN_FUSED_ROWS = 1
         try:
             results = dsms.run(optimize=OptimizeLevel(config.level),
-                               batching=True, columnar=True)
+                               batching=True, columnar=True,
+                               shards=config.n_shards or None)
         finally:
             fusion.MIN_FUSED_ROWS = saved
     else:
         results = dsms.run(optimize=OptimizeLevel(config.level),
-                           batching=config.batching, columnar=False)
+                           batching=config.batching, columnar=False,
+                           shards=config.n_shards or None)
     outcome = EngineOutcome()
     for name, result in results.items():
         outcome.delivered[name] = _decode_sink(result.elements)

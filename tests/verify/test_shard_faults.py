@@ -1,0 +1,80 @@
+"""Shard worker fault injection: the pool must fail closed.
+
+A worker that crashes or hangs mid-segment can never cause partial
+delivery — the run raises :class:`~repro.errors.ShardExecutionError`
+instead of returning results, emits a ``health.alert`` span through
+the coordinator's observability, and reaps every worker process
+(bounded drain, no orphans).
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.engine.dsms import DSMS
+from repro.engine.sharded import run_sharded
+from repro.errors import ShardExecutionError
+from repro.observability import Observability
+from repro.verify.differ import expr_from_spec
+from repro.verify.faults import run_shard_fault_drill
+from repro.verify.generator import generate_scenario
+from repro.stream.schema import StreamSchema
+
+
+def build_dsms(scenario, observability=None):
+    dsms = DSMS(observability=observability)
+    for sid, spec in scenario.streams.items():
+        dsms.register_stream(
+            StreamSchema(sid, tuple(spec["attributes"])),
+            scenario.decoded()[sid])
+    for name, query in scenario.queries.items():
+        dsms.register_query(name, expr_from_spec(query["plan"]),
+                            roles=frozenset(query["roles"]),
+                            auto_shield=False)
+    return dsms
+
+
+@pytest.mark.parametrize("seed,index", [(5, 0), (5, 1), (17, 2)])
+def test_drill_passes_on_generated_scenarios(seed, index):
+    scenario = generate_scenario(seed, index)
+    mismatches = run_shard_fault_drill(scenario)
+    assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+
+@pytest.mark.parametrize("kind,timeout", [("crash", 30.0),
+                                          ("hang", 0.75)])
+def test_fault_raises_alerts_and_drains(kind, timeout):
+    scenario = generate_scenario(5, 0)
+    dsms = build_dsms(scenario, Observability.in_memory())
+    start = time.monotonic()
+    with pytest.raises(ShardExecutionError) as excinfo:
+        run_sharded(dsms, n_shards=2, timeout=timeout,
+                    faults={0: kind})
+    elapsed = time.monotonic() - start
+    assert "fail-closed" in str(excinfo.value)
+    # Queues drain bounded: a hung worker costs at most the deadline
+    # plus the terminate/join grace, never an unbounded wait.
+    assert elapsed < timeout + 15.0
+    alerts = dsms.observability.tracer.events("health.alert")
+    assert len(alerts) == 1
+    attrs = alerts[0].attrs
+    assert attrs["rule"] == "shard.worker"
+    assert attrs["severity"] == "critical"
+    assert "fail-closed" in attrs["message"]
+    # No tuple was delivered without its shield decision: the failed
+    # run never populated a report or returned results.
+    assert dsms.last_report is None
+    assert not [p for p in multiprocessing.active_children()
+                if p.is_alive()]
+
+
+def test_healthy_workers_unaffected_by_drill_api():
+    # faults=None (the default) must behave exactly like DSMS.run.
+    scenario = generate_scenario(5, 1)
+    base = build_dsms(scenario).run()
+    dsms = build_dsms(scenario)
+    got = run_sharded(dsms, n_shards=2)
+    for name in base:
+        assert [t.tid for t in got[name].tuples] \
+            == [t.tid for t in base[name].tuples]
