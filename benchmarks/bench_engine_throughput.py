@@ -28,6 +28,13 @@ or as the shard-scaling gate (exit 1 if 4 worker processes project
 less than 2.5x one shard's critical-path throughput)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --shard-smoke
+
+or as the UDF effect-analysis gate (strict-lints the example plan
+specs, asserts the proven-pure UDF arm compiles fully vectorized and
+the opaque arm does not, and requires the pure arm's fused columnar
+throughput to hold ≥0.95x plain batched)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --udf-smoke
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from repro.algebra.expressions import ScanExpr
 from repro.engine.api import OptimizeLevel
 from repro.engine.dsms import DSMS
 from repro.observability import Observability
-from repro.operators.conditions import Comparison
+from repro.operators.conditions import Comparison, FuncCondition
 from repro.workloads.synthetic import (SYNTH_SCHEMA, punctuated_stream,
                                        role_names)
 
@@ -70,6 +77,36 @@ def build_dsms(n_queries: int, elements, *,
             else DSMS(observability=observability))
     dsms.register_stream(SYNTH_SCHEMA, elements)
     base = ScanExpr("synthetic").select(Comparison("x", ">", threshold))
+    for index, role in enumerate(role_names(n_queries, prefix="qr")):
+        dsms.register_query(f"q{index}", base, roles={role, "q_role"})
+    return dsms
+
+
+# -- UDF axis: provable vs opaque arms with identical semantics --------------
+
+def _udf_pure(t):
+    """The analyzer's provable fragment: reads {x}, pure, deterministic."""
+    return t.get("x", 0.0) > 100.0
+
+
+#: Dispatch table the opaque arm routes through.  Same predicate, but a
+#: mutable-global indirection the bytecode scan cannot resolve, so its
+#: determinism proof stays UNKNOWN and the compiler keeps the row stage
+#: (fail-closed — exactly what this axis measures the cost of).
+_UDF_DISPATCH = {"x": _udf_pure}
+
+
+def _udf_opaque(t):
+    """Same predicate as :func:`_udf_pure` behind unprovable dispatch."""
+    return _UDF_DISPATCH["x"](t)
+
+
+def build_udf_dsms(n_queries: int, elements, fn, label: str) -> DSMS:
+    """A DSMS whose query predicate is a declared-read-set UDF."""
+    dsms = DSMS()
+    dsms.register_stream(SYNTH_SCHEMA, elements)
+    base = ScanExpr("synthetic").select(
+        FuncCondition(fn, ("x",), label=label))
     for index, role in enumerate(role_names(n_queries, prefix="qr")):
         dsms.register_query(f"q{index}", base, roles={role, "q_role"})
     return dsms
@@ -433,11 +470,150 @@ def main(out_path: str = "BENCH_throughput.json",
             for n in SHARD_COUNTS)
         print(f"sharding {regime:>14}: {line} elem/s projected")
     report["sharding"] = sharding
+
+    # -- UDF effect-analysis axis (proven-pure vs opaque predicate) --------
+    # Same workload shape as the canonical select(x > 100), but the
+    # predicate is a FuncCondition: the pure arm is in the analyzer's
+    # provable fragment (read-set {x}, purity/determinism PROVEN) so
+    # the compiler hands it a bulk kernel and the fused tier engages;
+    # the opaque arm routes the identical predicate through a mutable
+    # dispatch table, its proof stays UNKNOWN, and the columnar tier
+    # falls back to the row stage — fail-closed, and this is its price.
+    pure_vec, opaque_vec = _udf_vectorization()
+    udf_modes = _measure_udf(1, 100, n_tuples)
+    udf_axis: dict = {
+        "workload": {"tuples_per_sp": 100, "n_queries": 1,
+                     "query": "select(udf) + per-query shield"},
+        "pure_fully_vectorized": pure_vec,
+        "opaque_fully_vectorized": opaque_vec,
+        "modes": udf_modes,
+        "columnar_vs_batched_pure": round(
+            udf_modes["pure_columnar"]["elements_per_second"]
+            / udf_modes["pure_batched"]["elements_per_second"], 2),
+        "pure_vs_opaque_columnar": round(
+            udf_modes["pure_columnar"]["elements_per_second"]
+            / udf_modes["opaque_columnar"]["elements_per_second"], 2),
+    }
+    print(f"udf axis: pure columnar="
+          f"{udf_modes['pure_columnar']['elements_per_second']:,.0f} "
+          f"opaque columnar="
+          f"{udf_modes['opaque_columnar']['elements_per_second']:,.0f}"
+          f" elem/s  proven-pure speedup="
+          f"{udf_axis['pure_vs_opaque_columnar']:.2f}x")
+    report["udf"] = udf_axis
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out_path}")
     return report
+
+
+#: UDF-axis arms: (callable, execution mode) per id.
+_UDF_ARMS = {"pure_columnar": (_udf_pure, True),
+             "pure_batched": (_udf_pure, False),
+             "opaque_columnar": (_udf_opaque, True)}
+
+
+def _measure_udf(n_queries: int, tuples_per_sp: int, n_tuples: int,
+                 repeats: int = 9) -> dict:
+    """Interleaved best-of over the UDF arms.
+
+    ``pure_columnar`` vs ``pure_batched`` isolates what the fused tier
+    buys (or costs) a *proven-pure* UDF predicate; ``opaque_columnar``
+    shows the fail-closed row-stage fallback an unprovable UDF pays on
+    the same tier.  Arms interleave per repetition so they sample the
+    same thermal/load windows (see :func:`_measure_modes`).
+    """
+    import time
+
+    elements = list(punctuated_stream(
+        n_tuples, tuples_per_sp=tuples_per_sp, policy_size=3,
+        accessible_fraction=0.6, seed=61))
+    engines = {key: build_udf_dsms(n_queries, elements, fn,
+                                   key.split("_")[0])
+               for key, (fn, _) in _UDF_ARMS.items()}
+    best = {key: float("inf") for key in _UDF_ARMS}
+    elements_in = {key: 0 for key in _UDF_ARMS}
+    for _ in range(repeats):
+        for key, (_, columnar) in _UDF_ARMS.items():
+            dsms = engines[key]
+            start = time.perf_counter()
+            dsms.run(batching=True, columnar=columnar)
+            elapsed = time.perf_counter() - start
+            best[key] = min(best[key], elapsed)
+            elements_in[key] = dsms.last_report.elements_in
+    return {
+        key: {
+            "elements_in": elements_in[key],
+            "best_seconds": round(best[key], 6),
+            "elements_per_second": round(elements_in[key] / best[key], 1),
+        }
+        for key in _UDF_ARMS
+    }
+
+
+def _udf_vectorization() -> "tuple[bool, bool]":
+    """(pure arm fully vectorized?, opaque arm fully vectorized?)."""
+    from repro.operators.compiler import compile_condition
+
+    pure = compile_condition(FuncCondition(_udf_pure, ("x",), label="pure"))
+    opaque = compile_condition(
+        FuncCondition(_udf_opaque, ("x",), label="opaque"))
+    return pure.fully_vectorized, opaque.fully_vectorized
+
+
+def udf_smoke(n_tuples: int = 6_000) -> int:
+    """CI gate for the UDF effect-analysis axis.
+
+    Structure first: every example plan spec must lint clean under the
+    strict policy (any analyzer error fails the gate), the provable
+    UDF arm must compile fully vectorized, and the opaque arm must
+    *not* (fail-closed).  Then the perf gate: a proven-pure UDF select
+    on the fused columnar tier must hold at least 0.95x the plain
+    batched engine at ``tuples_per_sp=100`` — the analyzer's proofs
+    must buy the fast path, not merely permit it.  Returns a process
+    exit code (0 ok, 1 regression).
+    """
+    from pathlib import Path
+
+    from repro.analysis import lint_file
+
+    plans = sorted((Path(__file__).resolve().parent.parent
+                    / "examples" / "plans").glob("*.json"))
+    for plan in plans:
+        errors = lint_file(str(plan)).errors
+        if errors:
+            print(f"udf-smoke: {plan.name} fails strict lint:")
+            for diagnostic in errors:
+                print(f"  {diagnostic}")
+            return 1
+    print(f"udf-smoke: {len(plans)} example plan(s) lint clean")
+
+    pure_vec, opaque_vec = _udf_vectorization()
+    if not pure_vec:
+        print("UDF REGRESSION: proven-pure UDF predicate no longer "
+              "compiles fully vectorized")
+        return 1
+    if opaque_vec:
+        print("UDF SOUNDNESS REGRESSION: opaque UDF predicate compiled "
+              "to a bulk kernel without a purity proof")
+        return 1
+    print("udf-smoke: pure arm vectorized, opaque arm row-stage (ok)")
+
+    modes = _measure_udf(1, 100, n_tuples, repeats=7)
+    p_eps = modes["pure_columnar"]["elements_per_second"]
+    b_eps = modes["pure_batched"]["elements_per_second"]
+    o_eps = modes["opaque_columnar"]["elements_per_second"]
+    ratio = p_eps / b_eps if b_eps else 0.0
+    print(f"udf-smoke tuples_per_sp=100: pure columnar={p_eps:,.0f} "
+          f"pure batched={b_eps:,.0f} opaque columnar={o_eps:,.0f} "
+          f"elem/s  ratio={ratio:.2f}x")
+    if ratio < 0.95:
+        print("UDF PERF REGRESSION: proven-pure UDF select slower on "
+              "the fused columnar tier than plain batched")
+        return 1
+    print("udf-smoke OK")
+    return 0
 
 
 def perf_smoke(n_tuples: int = 6_000) -> int:
@@ -541,4 +717,6 @@ if __name__ == "__main__":
         raise SystemExit(obs_smoke())
     if "--shard-smoke" in sys.argv:
         raise SystemExit(shard_smoke())
+    if "--udf-smoke" in sys.argv:
+        raise SystemExit(udf_smoke())
     main()

@@ -34,6 +34,15 @@ Rules
     — provenance must flow through the ``Tracer`` API
     (``record``/``decision``/``op_span``).
 
+``RL005`` — UDF conditions must declare their read-sets.  Any
+    ``FuncCondition(...)`` construction under ``src/repro`` or
+    ``examples/`` must pass an explicit ``attributes=`` (second
+    positional or keyword) argument: an empty declaration makes the
+    optimizer, the predicate compiler and SEC002's pruning analysis
+    reason as if the predicate read nothing.  Use
+    ``FuncCondition.wrap(fn)`` to declare the statically inferred
+    read-set automatically.
+
 Output is ``path:line: RLxxx message`` per finding; exit status 1 when
 anything is flagged.
 """
@@ -228,6 +237,31 @@ def check_rl004(path: Path, tree: ast.AST) -> "list[Finding]":
     return findings
 
 
+def check_rl005(path: Path, tree: ast.AST) -> "list[Finding]":
+    """``FuncCondition(...)`` built without an attributes declaration."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = (func.id if isinstance(func, ast.Name)
+                  else func.attr if isinstance(func, ast.Attribute)
+                  else "")
+        if callee != "FuncCondition":
+            continue
+        has_positional = len(node.args) >= 2
+        has_keyword = any(kw.arg == "attributes" for kw in node.keywords)
+        if not has_positional and not has_keyword:
+            findings.append(Finding(
+                path, node.lineno, "RL005",
+                "FuncCondition built without an attributes "
+                "declaration; the optimizer and compiler reason from "
+                "Condition.attributes(), so an empty declaration is an "
+                "unsound input (use attributes=(...) or "
+                "FuncCondition.wrap)"))
+    return findings
+
+
 def lint_file(path: Path) -> "list[Finding]":
     """All rule findings for one source file."""
     try:
@@ -242,6 +276,8 @@ def lint_file(path: Path) -> "list[Finding]":
     if (SRC / "operators") in path.parents:
         findings.extend(check_rl003(path, tree))
         findings.extend(check_rl004(path, tree))
+    if SRC in path.parents or (REPO / "examples") in path.parents:
+        findings.extend(check_rl005(path, tree))
     return findings
 
 
@@ -249,7 +285,8 @@ def main(argv: "list[str] | None" = None) -> int:
     """Lint the given files (default: all of ``src/repro``)."""
     argv = sys.argv[1:] if argv is None else argv
     paths = ([Path(arg).resolve() for arg in argv] if argv
-             else sorted(SRC.rglob("*.py")))
+             else sorted(SRC.rglob("*.py"))
+             + sorted((REPO / "examples").rglob("*.py")))
     findings: "list[Finding]" = []
     for path in paths:
         findings.extend(lint_file(path))

@@ -35,7 +35,8 @@ from repro.algebra.expressions import (DupElimExpr, GroupByExpr,
                                        IntersectExpr, JoinExpr, LogicalExpr,
                                        ProjectExpr, ScanExpr, SelectExpr,
                                        ShieldExpr, UnionExpr, walk)
-from repro.analysis.rewrites import hazard_absent
+from repro.analysis.rewrites import Proof, hazard_absent
+from repro.analysis.udf import condition_verified
 from repro.errors import OptimizerError
 
 __all__ = [
@@ -216,10 +217,26 @@ class _CommuteUnaryShield(Rule):
 
 
 class CommuteSelectShield(_CommuteUnaryShield):
-    """Rule 2: σ_c(ψ_p(T)) ≡ ψ_p(σ_c(T))."""
+    """Rule 2: σ_c(ψ_p(T)) ≡ ψ_p(σ_c(T)), guarded on UDF proofs.
+
+    For algebraic conditions the commute is exact.  A ``FuncCondition``
+    moves across the shield only on the effect analyzer's proof
+    (:func:`repro.analysis.udf.condition_verified`): pushing σ below ψ
+    makes the UDF observe tuples the shield would have dropped, which
+    an impure or nondeterministic callable can tell apart, and an
+    undeclared read voids every attribute-based argument.  UNKNOWN
+    refuses fail-closed, exactly like the flag-guarded commutes.
+    """
 
     name = "commute-select-shield"
     unary_type = SelectExpr
+
+    def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
+        if not super().matches(expr, ctx):
+            return False
+        select = expr.input if isinstance(expr, ShieldExpr) else expr
+        assert isinstance(select, SelectExpr)
+        return condition_verified(select.condition) is Proof.PROVEN
 
 
 class CommuteProjectShield(_CommuteUnaryShield):
@@ -383,13 +400,19 @@ class AssociateJoin(Rule):
 
 
 class SplitSelect(Rule):
-    """Classical rule: σ_{c1 ∧ c2}(T) ≡ σ_c1(σ_c2(T))."""
+    """Classical rule: σ_{c1 ∧ c2}(T) ≡ σ_c1(σ_c2(T)).
+
+    Splitting (and merging) reorders conjunct evaluation and changes
+    short-circuit call counts, so any UDF conjunct must carry the
+    effect analyzer's proof before the rule applies.
+    """
 
     name = "split-select"
 
     def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
         return (isinstance(expr, SelectExpr)
-                and len(expr.condition.conjuncts()) > 1)
+                and len(expr.condition.conjuncts()) > 1
+                and condition_verified(expr.condition) is Proof.PROVEN)
 
     def apply(self, expr: LogicalExpr, ctx: RewriteContext) -> LogicalExpr:
         assert isinstance(expr, SelectExpr)
@@ -406,7 +429,10 @@ class MergeSelects(Rule):
 
     def matches(self, expr: LogicalExpr, ctx: RewriteContext) -> bool:
         return (isinstance(expr, SelectExpr)
-                and isinstance(expr.input, SelectExpr))
+                and isinstance(expr.input, SelectExpr)
+                and condition_verified(expr.condition) is Proof.PROVEN
+                and condition_verified(
+                    expr.input.condition) is Proof.PROVEN)
 
     def apply(self, expr: LogicalExpr, ctx: RewriteContext) -> LogicalExpr:
         assert isinstance(expr, SelectExpr)
@@ -437,6 +463,12 @@ class PushSelectIntoJoin(Rule):
     def _target_side(expr: "SelectExpr",
                      ctx: RewriteContext) -> int | None:
         join = expr.input
+        if condition_verified(expr.condition) is not Proof.PROVEN:
+            # The side decision trusts Condition.attributes(); a UDF's
+            # declaration only counts once the effect analyzer proves
+            # it covers the inferred read-set (and the callable is
+            # pure — pushdown changes what the UDF observes).
+            return None
         attrs = expr.condition.attributes()
         if not attrs:
             return None

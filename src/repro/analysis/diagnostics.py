@@ -14,6 +14,9 @@ SEC002    attribute-scoped sp-batch pruned upstream (leak widening)
 SEC003    dead/redundant shield dominated by an upstream shield
 SEC004    Table II rewrite precondition violated or unprovable
 SEC005    plan-spec / baseline inconsistency
+SEC006    UDF reads attributes outside its declared set
+SEC007    impure/nondeterministic UDF on an enforcement path
+SEC008    UDF read-set widens an attribute-scoped sp's pruning
 ========  ========================================================
 """
 
@@ -38,6 +41,9 @@ CATALOG: dict[str, str] = {
     "SEC003": "redundant shield dominated by an upstream shield",
     "SEC004": "rewrite precondition violated or not provable",
     "SEC005": "plan-spec or baseline inconsistency",
+    "SEC006": "UDF attribute reads not covered by its declaration",
+    "SEC007": "impure or nondeterministic UDF on an enforcement path",
+    "SEC008": "UDF read-set widens attribute-scoped sp pruning",
 }
 
 

@@ -17,6 +17,10 @@ from every scan to the plan root and reports:
   by upstream shields with equal-or-narrower conjuncts: dead weight.
 * **SEC004** — delegated to
   :func:`repro.analysis.rewrites.hazard_sites`.
+* **SEC006-SEC008** — delegated to
+  :func:`repro.analysis.udf.udf_diagnostics` for every selection or
+  join predicate carrying a ``FuncCondition`` (undeclared reads,
+  provable impurity, attribute-scoped pruning widened by a UDF read).
 """
 
 from __future__ import annotations
@@ -25,11 +29,13 @@ from dataclasses import replace
 from typing import Iterable
 
 from repro.algebra.expressions import (GroupByExpr, LogicalExpr,
-                                       ProjectExpr, ScanExpr, ShieldExpr)
+                                       ProjectExpr, ScanExpr, SelectExpr,
+                                       ShieldExpr)
 from repro.analysis.diagnostics import AnalysisReport, Severity
 from repro.analysis.lattice import (PathState, StreamFacts, dominates,
                                     join_states)
 from repro.analysis.rewrites import expr_label, hazard_sites
+from repro.analysis.udf import udf_diagnostics
 
 __all__ = ["analyze_expr"]
 
@@ -115,7 +121,11 @@ def _visit(expr: LogicalExpr, path: str, facts: StreamFacts,
                     fixit="place a Security Shield upstream of the "
                           f"{op}, or retain {sorted(leaked)}")
         return state.project(kept)
-    # Select/dup-elim pass tuples through whole; joins/set ops merged
+    if isinstance(expr, SelectExpr):
+        report.extend(udf_diagnostics(expr.condition, here, facts=facts,
+                                      streams=state.streams))
+        return state
+    # Dup-elim passes tuples through whole; joins/set ops merged
     # their inputs above.  Join outputs rename clashing attributes at
     # runtime, so their attribute set becomes unknown.
     if len(children) > 1:

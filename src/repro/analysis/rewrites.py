@@ -184,6 +184,37 @@ def _guarded_sites(
                     yield stateful[type(node)], path, node
         if isinstance(node, JoinExpr) and isinstance(node.left, JoinExpr):
             yield "associate-join", path, node
+        # UDF-guarded select rewrites: the precondition is per-node (a
+        # proof about the condition's callables), not a context flag.
+        if isinstance(node, ShieldExpr) and isinstance(node.input,
+                                                       SelectExpr):
+            if _has_udf(node.input):
+                yield "commute-select-shield", path, node
+        elif isinstance(node, SelectExpr) and _has_udf(node):
+            (child,) = node.children()
+            if isinstance(child, ShieldExpr):
+                yield "commute-select-shield", path, node
+            elif isinstance(child, JoinExpr):
+                yield "push-select-join", path, node
+
+
+#: Rules whose precondition is the per-condition UDF proof.
+_UDF_GUARDED = frozenset({"commute-select-shield", "push-select-join"})
+
+
+def _has_udf(select: SelectExpr) -> bool:
+    from repro.analysis.udf import condition_udfs
+
+    return bool(condition_udfs(select.condition))
+
+
+def _select_condition_proof(node: LogicalExpr) -> Proof:
+    """The UDF proof for a guarded select site (shield- or select-rooted)."""
+    from repro.analysis.udf import condition_verified
+
+    select = node.input if isinstance(node, ShieldExpr) else node
+    assert isinstance(select, SelectExpr)
+    return condition_verified(select.condition)
 
 
 def refused_rewrites(expr: LogicalExpr, ctx: "RewriteContext",
@@ -197,10 +228,25 @@ def refused_rewrites(expr: LogicalExpr, ctx: "RewriteContext",
     """
     diagnostics: list[Diagnostic] = []
     seen: set[tuple[str, str]] = set()
-    for rule_name, path, _node in _guarded_sites(expr, root):
+    for rule_name, path, node in _guarded_sites(expr, root):
         if (rule_name, path) in seen:
             continue
         seen.add((rule_name, path))
+        if rule_name in _UDF_GUARDED:
+            proof = _select_condition_proof(node)
+            if proof is Proof.PROVEN:
+                continue
+            state = ("refuted" if proof is Proof.REFUTED
+                     else "not provable")
+            diagnostics.append(Diagnostic(
+                "SEC004", Severity.INFO, path,
+                f"{rule_name} refused fail-closed: the select carries "
+                f"a UDF whose purity/determinism/read-set proof is "
+                f"{state}",
+                fixit="write the UDF in the analyzer's provable "
+                      "fragment (.get reads, no shared state) and "
+                      "declare its full read-set"))
+            continue
         reason = refusal_reason(rule_name, ctx)
         if reason is None:
             continue

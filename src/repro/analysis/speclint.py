@@ -109,6 +109,9 @@ def _check_spec(spec: Any, path: str, schemas: Mapping[str, tuple],
     attrs = children.get("input")
     if op == "select":
         condition = spec["condition"]
+        if isinstance(condition, dict) and "udf" in condition:
+            _check_udf_ref(condition["udf"], here, attrs, report)
+            return attrs
         ref = (condition.get("attribute")
                if isinstance(condition, dict) else None)
         if ref is not None and attrs is not None and ref not in attrs:
@@ -154,6 +157,27 @@ def _check_spec(spec: Any, path: str, schemas: Mapping[str, tuple],
                 f"join {key} {ref!r} not produced by its {side} "
                 f"input (has {sorted(side_attrs)})")
     return None  # join output renames clashes: unknown
+
+
+def _check_udf_ref(ref: Any, here: str, attrs: "frozenset | None",
+                   report: AnalysisReport) -> None:
+    """SEC005 checks for a ``{"udf": name}`` selection condition."""
+    from repro.operators.udfs import registered_udfs
+
+    registry = registered_udfs()
+    if not isinstance(ref, str) or ref not in registry:
+        report.add("SEC005", Severity.ERROR, here,
+                   f"selection references unregistered UDF {ref!r}",
+                   fixit=f"one of {sorted(registry)}")
+        return
+    declared = registry[ref].attributes
+    if attrs is not None:
+        missing = declared - attrs
+        if missing:
+            report.add(
+                "SEC005", Severity.ERROR, here,
+                f"UDF {ref!r} declares attribute(s) {sorted(missing)} "
+                f"not produced by its input (has {sorted(attrs)})")
 
 
 def lint_spec(spec: dict, *, name: str = "plan",

@@ -48,8 +48,10 @@ Commands
 ``lint <file>... [--format text|json] [--strict]``
     Static security analysis of plan-spec / scenario JSON files:
     shield coverage (SEC001), attribute-leak (SEC002), redundant
-    shields (SEC003), rewrite preconditions (SEC004) and spec
-    consistency (SEC005).  Exit 1 on error-severity findings (with
+    shields (SEC003), rewrite preconditions (SEC004), spec
+    consistency (SEC005) and UDF effects — undeclared reads (SEC006),
+    impure/nondeterministic callables (SEC007), sp-pruning widened by
+    a UDF read (SEC008).  Exit 1 on error-severity findings (with
     ``--strict``: also on warnings).
 """
 

@@ -98,8 +98,27 @@ _WORKER_TRACE_CAPACITY = 65536
 # -- workload splitting -------------------------------------------------------
 
 def _is_stateless(expr: LogicalExpr) -> bool:
-    return (isinstance(expr, STATELESS_EXPRS)
-            and all(_is_stateless(child) for child in expr.children()))
+    if not isinstance(expr, STATELESS_EXPRS):
+        return False
+    if isinstance(expr, SelectExpr) and not _shard_safe_select(expr):
+        return False
+    return all(_is_stateless(child) for child in expr.children())
+
+
+def _shard_safe_select(expr: SelectExpr) -> bool:
+    """Static shard-safety proof for a selection's UDFs.
+
+    A select may run inside forked shard workers only when every
+    ``FuncCondition`` leaf is *proven* pure and deterministic: a
+    stateful closure accumulates per-worker state (results then depend
+    on the partitioning), and process-specific values (``id``,
+    ``hash``) diverge across workers.  UNKNOWN fails closed — the
+    subtree is pinned to the coordinator suffix, which preserves
+    single-process semantics exactly (refuse-or-pin; this is the pin).
+    """
+    from repro.analysis.udf import shard_safe
+
+    return shard_safe(expr.condition)
 
 
 def _source_sid(expr: LogicalExpr) -> str:

@@ -73,6 +73,19 @@ class PlanAnalysisWarning(UserWarning):
     """
 
 
+class UdfDeclarationWarning(UserWarning):
+    """A ``FuncCondition`` was built with an unsound declaration.
+
+    Emitted at construction time when the ``attributes`` declaration is
+    empty (or provably incomplete) for a non-trivial callable: every
+    layer that reasons from ``Condition.attributes()`` — the Table II
+    optimizer, the predicate compiler, SEC002's pruning analysis —
+    would silently treat the UDF as reading nothing.  Strict-mode
+    analysis (``register_query(analyze="strict")``) upgrades the same
+    condition to a SEC006 error.
+    """
+
+
 class OptimizerError(ReproError):
     """The optimizer was asked to perform an inapplicable rewrite."""
 

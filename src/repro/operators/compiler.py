@@ -31,9 +31,11 @@ import operator as _operator
 from itertools import repeat as _repeat
 from typing import Callable, cast
 
+from repro.analysis.rewrites import Proof
 from repro.core.patterns import (CompositePattern, LiteralPattern, Pattern,
                                  RangePattern, SetPattern, WildcardPattern)
-from repro.operators.conditions import (And, Comparison, Condition, Not, Or,
+from repro.operators.conditions import (And, Comparison, Condition,
+                                        FuncCondition, Not, Or,
                                         TrueCondition)
 from repro.stream.columnar import MISSING, ColumnBatch
 
@@ -160,7 +162,24 @@ def _vector(cond: Condition) -> VectorKernel | None:
             return None
         inner_kernel = inner
         return lambda cb: [not v for v in inner_kernel(cb)]
+    if isinstance(cond, FuncCondition):
+        # A UDF may join the bulk tier only on the effect analyzer's
+        # proofs: purity + determinism (extra evaluations are
+        # unobservable) *and* totality (bulk evaluation reaches rows
+        # an element-wise short-circuit would skip, so the callable
+        # must be provably non-raising on arbitrary rows).  UNKNOWN
+        # fails closed to a row stage.
+        if cond.is_pure() and cond.effects.totality is Proof.PROVEN:
+            return _udf_kernel(cond)
+        return None
     return None
+
+
+def _udf_kernel(cond: FuncCondition) -> VectorKernel:
+    """One fused pass of a proven UDF over a batch (no ``Condition``
+    dispatch, no mask bookkeeping between conjuncts)."""
+    fn = cond.fn
+    return lambda cb: [bool(fn(item)) for item in cb.tuples]
 
 
 class CompiledPredicate:
@@ -179,8 +198,19 @@ class CompiledPredicate:
         self.condition = condition
         vector_stages: list[VectorKernel] = []
         row_stages: list[Condition] = []
-        for conjunct in condition.conjuncts():
+        conjuncts = condition.conjuncts()
+        for conjunct in conjuncts:
             kernel = _vector(conjunct) if conjunct.is_pure() else None
+            if (kernel is None and len(conjuncts) == 1
+                    and isinstance(conjunct, FuncCondition)
+                    and conjunct.is_pure()):
+                # Sole-conjunct escape: with no other conjunct there is
+                # no short-circuit, so bulk evaluation touches exactly
+                # the rows element-wise evaluation would — in the same
+                # order — and an exception surfaces from the same row.
+                # Proven purity + determinism alone suffice; no
+                # totality proof needed.
+                kernel = _udf_kernel(conjunct)
             if kernel is not None:
                 vector_stages.append(kernel)
             else:

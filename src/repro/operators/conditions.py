@@ -10,10 +10,14 @@ them from parsed expressions.  They are all callable on a
 from __future__ import annotations
 
 import operator
-from typing import Callable, Iterable
+import warnings
+from typing import TYPE_CHECKING, Callable, Iterable
 
-from repro.errors import PlanError
+from repro.errors import PlanError, UdfDeclarationWarning
 from repro.stream.tuples import DataTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.udf import EffectReport
 
 __all__ = ["Condition", "Comparison", "And", "Or", "Not", "FuncCondition",
            "TrueCondition"]
@@ -85,7 +89,7 @@ class Comparison(Condition):
     """``attribute <op> value`` or ``attribute <op> attribute2``."""
 
     def __init__(self, attribute: str, op: str, value: object, *,
-                 rhs_attribute: bool = False):
+                 rhs_attribute: bool = False) -> None:
         if op not in _OPS:
             raise PlanError(f"unknown comparison operator: {op!r}")
         self.attribute = attribute
@@ -117,7 +121,7 @@ class Comparison(Condition):
 
 
 class And(Condition):
-    def __init__(self, parts: Iterable[Condition]):
+    def __init__(self, parts: Iterable[Condition]) -> None:
         flat: list[Condition] = []
         for part in parts:
             if isinstance(part, And):
@@ -149,7 +153,7 @@ class And(Condition):
 
 
 class Or(Condition):
-    def __init__(self, parts: Iterable[Condition]):
+    def __init__(self, parts: Iterable[Condition]) -> None:
         self.parts = tuple(parts)
 
     def __call__(self, item: DataTuple) -> bool:
@@ -169,7 +173,7 @@ class Or(Condition):
 
 
 class Not(Condition):
-    def __init__(self, inner: Condition):
+    def __init__(self, inner: Condition) -> None:
         self.inner = inner
 
     def __call__(self, item: DataTuple) -> bool:
@@ -188,20 +192,81 @@ class Not(Condition):
 class FuncCondition(Condition):
     """Escape hatch: wrap an arbitrary callable.
 
-    ``attributes`` must be declared so the optimizer stays correct.
+    ``attributes`` must be declared so the optimizer stays correct;
+    the UDF effect analyzer (:mod:`repro.analysis.udf`) verifies the
+    declaration against the callable's inferred read-set at analysis
+    time (SEC006) and proves purity/determinism so proven UDFs can
+    vectorize, commute with shields, and run inside shard workers.
+
+    Constructing one with an *empty* declaration and a non-trivial
+    callable emits :class:`~repro.errors.UdfDeclarationWarning`
+    immediately — an empty ``attributes()`` makes every downstream
+    proof reason as if the predicate read nothing.  Use
+    :meth:`wrap` to declare the analyzer's inferred read-set
+    automatically.
     """
 
     def __init__(self, fn: Callable[[DataTuple], bool],
-                 attributes: Iterable[str] = (), label: str = "fn"):
+                 attributes: Iterable[str] = (),
+                 label: str = "fn") -> None:
         self._fn = fn
         self._attributes = frozenset(attributes)
         self.label = label
+        self._effects: "EffectReport | None" = None
+        if not self._attributes:
+            effects = self.effects
+            if effects.reads is None or effects.reads:
+                read = ("an unverifiable set of attributes"
+                        if effects.reads is None
+                        else f"attributes {sorted(effects.reads)}")
+                warnings.warn(
+                    f"FuncCondition {label!r} declares no attributes "
+                    f"but its callable reads {read}; the optimizer, "
+                    "compiler and SEC002 pruning all reason from the "
+                    "declaration — pass attributes=(...) (or use "
+                    "FuncCondition.wrap) to keep them sound",
+                    UdfDeclarationWarning, stacklevel=2)
+
+    @classmethod
+    def wrap(cls, fn: Callable[[DataTuple], bool],
+             label: str = "fn") -> "FuncCondition":
+        """Wrap ``fn`` declaring its statically inferred read-set.
+
+        Falls back to an empty declaration (with the construction-time
+        warning) when the read-set is not statically determinable.
+        """
+        from repro.analysis.udf import analyze_callable
+
+        effects = analyze_callable(fn)
+        return cls(fn, effects.reads or (), label=label)
+
+    @property
+    def effects(self) -> "EffectReport":
+        """Lazily computed effect analysis of the wrapped callable."""
+        if self._effects is None:
+            from repro.analysis.udf import analyze_callable
+
+            self._effects = analyze_callable(self._fn)
+        return self._effects
+
+    @property
+    def fn(self) -> Callable[[DataTuple], bool]:
+        """The wrapped callable (read-only; identity matters to proofs)."""
+        return self._fn
 
     def __call__(self, item: DataTuple) -> bool:
         return bool(self._fn(item))
 
     def attributes(self) -> frozenset[str]:
         return self._attributes
+
+    def is_pure(self) -> bool:
+        """Pure iff the effect analyzer *proved* purity + determinism.
+
+        UNKNOWN stays impure (fail closed): the compiler then keeps
+        element-wise call order and counts exactly as today.
+        """
+        return self.effects.proven_pure
 
     def __repr__(self) -> str:
         return f"<{self.label}>"

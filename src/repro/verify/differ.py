@@ -70,6 +70,11 @@ def expr_from_spec(spec: dict, join_variant: str = "nl") -> LogicalExpr:
                           tuple(frozenset(p) for p in spec["predicates"]))
     if op == "select":
         cond = spec["condition"]
+        if "udf" in cond:
+            from repro.operators.udfs import named_udf
+
+            return SelectExpr(expr_from_spec(spec["input"], join_variant),
+                              named_udf(cond["udf"]))
         return SelectExpr(
             expr_from_spec(spec["input"], join_variant),
             Comparison(cond["attribute"], cond["op"], cond["value"]))

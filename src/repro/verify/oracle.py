@@ -180,6 +180,14 @@ def merge_streams(
 
 def _evaluate_condition(spec: dict, item: DataTuple) -> bool:
     """Mirror of the engine Comparison semantics (None/TypeError → False)."""
+    if "udf" in spec:
+        # Named UDFs have no algebraic mirror: the registered callable
+        # *is* the semantics, so the oracle evaluates it directly.
+        # Purity/determinism of registered UDFs is enforced by SEC007
+        # and the registry's analyzer-provable built-in style.
+        from repro.operators.udfs import call_udf
+
+        return call_udf(spec["udf"], item)
     left = item.get(spec["attribute"])
     right = spec["value"]
     if left is None or right is None:

@@ -52,10 +52,12 @@ class TestCommittedCases:
 class TestExamplePlans:
     def test_examples_exist(self):
         assert sorted(p.name for p in EXAMPLES.glob("*.json")) == [
-            "shielded-join.json", "shielded-select.json"]
+            "shielded-join.json", "shielded-select.json",
+            "shielded-udf-select.json"]
 
     @pytest.mark.parametrize("name", ["shielded-join.json",
-                                      "shielded-select.json"])
+                                      "shielded-select.json",
+                                      "shielded-udf-select.json"])
     def test_fully_shielded_examples_lint_clean(self, name):
         report = lint_file(str(EXAMPLES / name))
         assert len(report) == 0, [str(d) for d in report]

@@ -122,6 +122,38 @@ class TestRL004:
         assert findings(lint_rules.check_rl004, source) == []
 
 
+class TestRL005:
+    def test_bare_func_condition_flagged(self):
+        found = findings(lint_rules.check_rl005,
+                         "cond = FuncCondition(lambda t: True)\n")
+        assert len(found) == 1
+        assert found[0].rule == "RL005"
+
+    def test_label_keyword_alone_still_flagged(self):
+        found = findings(
+            lint_rules.check_rl005,
+            'cond = FuncCondition(fn, label="guard")\n')
+        assert len(found) == 1
+
+    def test_positional_attributes_allowed(self):
+        found = findings(lint_rules.check_rl005,
+                         'cond = FuncCondition(fn, ("x", "y"))\n')
+        assert found == []
+
+    def test_keyword_attributes_allowed(self):
+        found = findings(
+            lint_rules.check_rl005,
+            'cond = FuncCondition(fn, attributes=["x"])\n')
+        assert found == []
+
+    def test_wrap_classmethod_not_flagged(self):
+        # .wrap infers the declaration itself; the callee name differs
+        # so the rule must not fire on it.
+        found = findings(lint_rules.check_rl005,
+                         "cond = FuncCondition.wrap(fn)\n")
+        assert found == []
+
+
 class TestWholeTree:
     def test_src_repro_is_clean(self):
         result = subprocess.run(

@@ -1,0 +1,380 @@
+"""UDF effect analyzer: read-sets, purity proofs, SEC006–SEC008.
+
+The fixture callables live at module level because the analyzer's
+read-set and totality proofs are AST-primary: ``inspect.getsource``
+must be able to recover their source, which it can for file-backed
+test modules but not for REPL/``exec``-defined functions (those fall
+back to the bytecode scan and stay UNKNOWN where the AST would prove).
+"""
+
+import random
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.algebra.expressions import ScanExpr, SelectExpr, ShieldExpr
+from repro.algebra.rules import RewriteContext, equivalent_forms
+from repro.analysis import (analyze_callable, condition_verified, lint_file,
+                            shard_safe, udf_diagnostics, verify_declaration)
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lattice import StreamFacts
+from repro.analysis.rewrites import Proof, refused_rewrites
+from repro.engine.dsms import DSMS
+from repro.engine.sharded import split_workload
+from repro.errors import PlanAnalysisError, UdfDeclarationWarning
+from repro.operators.compiler import compile_condition
+from repro.operators.conditions import And, Comparison, FuncCondition, Not
+from repro.operators.udfs import named_udf, registered_udfs, udf_entry
+from repro.stream.schema import StreamSchema
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+# -- fixture callables (provable fragment) -----------------------------------
+
+def reads_get(t):
+    return t.get("x", 0) > 1
+
+
+def reads_subscript(t):
+    return t["y"] == 3
+
+
+def reads_values_dict(t):
+    v = t.values
+    return v["z"] is not None
+
+
+def reads_contains(t):
+    return "flag" in t
+
+
+def reads_alias(t):
+    values = t.values
+    speed = values.get("speed", 0.0)
+    return speed > 60.0
+
+
+def reads_metadata_only(t):
+    return t.ts > 0.0 and t.sid == "cars"
+
+
+def undeclared_cheater(t):
+    return t.get("x", 0) > 1 and t.get("y", 0) > 2
+
+
+def total_guard(t):
+    return t.get("x", 0.0) is not None
+
+
+# -- adversarial fixtures (must fail closed, not misprove) -------------------
+
+_COUNTER = {"calls": 0}
+
+
+def closure_mutator(t):
+    _COUNTER["calls"] += 1
+    return t.get("x", 0) > _COUNTER["calls"]
+
+
+def computed_getattr(t):
+    field = "val" + "ues"
+    return getattr(t, field)["x"] > 1
+
+
+def nested_lambda(t):
+    def probe():
+        return t.get("x", 0)
+    return probe() > 1
+
+
+def uses_random(t):
+    return random.random() < 0.5
+
+
+def prints(t):
+    print(t)
+    return True
+
+
+class TestReadSets:
+    @pytest.mark.parametrize("fn,expected", [
+        (reads_get, {"x"}),
+        (reads_subscript, {"y"}),
+        (reads_values_dict, {"z"}),
+        (reads_contains, {"flag"}),
+        (reads_alias, {"speed"}),
+        (undeclared_cheater, {"x", "y"}),
+    ], ids=["get", "subscript", "values", "contains", "alias", "cheater"])
+    def test_inferred_reads(self, fn, expected):
+        assert analyze_callable(fn).reads == frozenset(expected)
+
+    def test_metadata_access_is_not_an_attribute_read(self):
+        report = analyze_callable(reads_metadata_only)
+        assert report.reads == frozenset()
+        assert report.proven_pure
+
+    def test_provable_fragment_proves_purity(self):
+        for fn in (reads_get, reads_subscript, reads_alias, total_guard):
+            report = analyze_callable(fn)
+            assert report.purity is Proof.PROVEN, fn
+            assert report.determinism is Proof.PROVEN, fn
+
+    def test_totality_proves_on_guard_fragment(self):
+        assert analyze_callable(total_guard).totality is Proof.PROVEN
+        # A comparison against a .get value can still raise TypeError.
+        assert analyze_callable(reads_get).totality is Proof.UNKNOWN
+
+
+class TestAdversarialFixtures:
+    def test_closure_mutation_blocks_purity(self):
+        report = analyze_callable(closure_mutator)
+        assert report.purity is not Proof.PROVEN
+        assert not report.proven_pure
+
+    def test_computed_getattr_fails_closed_on_reads(self):
+        assert analyze_callable(computed_getattr).reads is None
+
+    def test_nested_function_capture_fails_closed_on_reads(self):
+        assert analyze_callable(nested_lambda).reads is None
+
+    def test_random_refutes_determinism(self):
+        report = analyze_callable(uses_random)
+        assert report.determinism is Proof.REFUTED
+
+    def test_io_refutes_purity(self):
+        report = analyze_callable(prints)
+        assert report.purity is Proof.REFUTED
+        # t escapes into print(), so its reads are unknowable.
+        assert report.reads is None
+
+
+class TestDeclarations:
+    def test_verify_declaration_three_values(self):
+        covered = FuncCondition(reads_get, ("x",), label="ok")
+        cheater = FuncCondition(undeclared_cheater, ("x",), label="cheat")
+        opaque = FuncCondition(computed_getattr, ("x",), label="opaque")
+        assert verify_declaration(covered) is Proof.PROVEN
+        assert verify_declaration(cheater) is Proof.REFUTED
+        assert verify_declaration(opaque) is Proof.UNKNOWN
+
+    def test_undeclared_reads(self):
+        report = analyze_callable(undeclared_cheater)
+        assert report.undeclared(frozenset({"x"})) == frozenset({"y"})
+        assert report.undeclared(frozenset({"x", "y"})) == frozenset()
+
+    def test_empty_declaration_warns_at_construction(self):
+        with pytest.warns(UdfDeclarationWarning):
+            FuncCondition(reads_get, label="undeclared")
+
+    def test_opaque_empty_declaration_warns(self):
+        with pytest.warns(UdfDeclarationWarning):
+            FuncCondition(computed_getattr, label="opaque")
+
+    def test_trivial_callable_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            FuncCondition(reads_metadata_only, label="metadata")
+
+    def test_wrap_infers_the_declaration(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cond = FuncCondition.wrap(undeclared_cheater, label="wrapped")
+        assert cond.attributes() == frozenset({"x", "y"})
+        assert verify_declaration(cond) is Proof.PROVEN
+
+
+class TestConditionVerified:
+    def test_udf_free_condition_is_proven(self):
+        cond = And([Comparison("x", ">", 1), Not(Comparison("y", "<", 2))])
+        assert condition_verified(cond) is Proof.PROVEN
+
+    def test_meet_over_leaves(self):
+        proven = FuncCondition(reads_get, ("x",), label="ok")
+        cheater = FuncCondition(undeclared_cheater, ("x",), label="cheat")
+        opaque = FuncCondition(computed_getattr, ("x",), label="opaque")
+        assert condition_verified(proven) is Proof.PROVEN
+        assert condition_verified(
+            And([proven, Comparison("y", ">", 0)])) is Proof.PROVEN
+        assert condition_verified(And([proven, cheater])) is Proof.REFUTED
+        assert condition_verified(Not(opaque)) is Proof.UNKNOWN
+
+    def test_registered_udfs_all_prove(self):
+        assert registered_udfs()
+        for name in registered_udfs():
+            cond = named_udf(name)
+            assert condition_verified(cond) is Proof.PROVEN, name
+            assert cond.is_pure(), name
+            assert shard_safe(cond), name
+
+
+class TestDiagnostics:
+    def _diags(self, cond, **kwargs):
+        return udf_diagnostics(cond, "plan/select", **kwargs)
+
+    def test_sec006_error_on_undeclared_read(self):
+        cond = FuncCondition(undeclared_cheater, ("x",), label="cheat")
+        diags = self._diags(cond)
+        assert [d.code for d in diags] == ["SEC006"]
+        assert diags[0].severity is Severity.ERROR
+        assert "'y'" in diags[0].message
+
+    def test_sec006_warning_trusts_unverifiable_declaration(self):
+        cond = FuncCondition(computed_getattr, ("x",), label="opaque")
+        diags = self._diags(cond)
+        assert [d.code for d in diags] == ["SEC006"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_sec007_on_refuted_purity_or_determinism(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            noisy = FuncCondition(prints, label="noisy")
+        rng = FuncCondition(uses_random, (), label="rng")
+        assert "SEC007" in [d.code for d in self._diags(noisy)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            rng_diags = self._diags(rng)
+        assert "SEC007" in [d.code for d in rng_diags]
+
+    def test_sec007_silent_on_unknown_purity(self):
+        # UNKNOWN purity refuses optimizations but is not reportable:
+        # flagging every unprovable callable would drown real findings.
+        cond = FuncCondition(closure_mutator, ("x",), label="maybe")
+        assert "SEC007" not in [d.code for d in self._diags(cond)]
+
+    def test_sec008_needs_concrete_governed_overlap(self):
+        cond = FuncCondition(undeclared_cheater, ("x",), label="cheat")
+        facts = StreamFacts(known=True,
+                            attr_scoped={"cars": frozenset({"y"})},
+                            schemas={"cars": ("x", "y")})
+        diags = self._diags(cond, facts=facts, streams=["cars"])
+        assert {d.code for d in diags} == {"SEC006", "SEC008"}
+        sec008 = next(d for d in diags if d.code == "SEC008")
+        assert sec008.severity is Severity.ERROR
+        # No attribute-scoped sps on the read attribute: no SEC008.
+        unscoped = StreamFacts(known=True,
+                               attr_scoped={"cars": frozenset({"z"})},
+                               schemas={"cars": ("x", "y", "z")})
+        codes = {d.code
+                 for d in self._diags(cond, facts=unscoped,
+                                      streams=["cars"])}
+        assert "SEC008" not in codes
+
+    def test_verified_udf_emits_nothing(self):
+        assert self._diags(named_udf("in_region")) == []
+        cond = FuncCondition(reads_get, ("x",), label="ok")
+        assert self._diags(cond) == []
+
+
+class TestStrictRegistration:
+    def _dsms(self):
+        dsms = DSMS()
+        dsms.register_stream(StreamSchema("cars", ("x", "y", "speed")))
+        return dsms
+
+    def test_undeclared_read_rejected_strict(self):
+        dsms = self._dsms()
+        bad = FuncCondition(undeclared_cheater, ("x",), label="cheat")
+        with pytest.raises(PlanAnalysisError) as excinfo:
+            dsms.register_query("q", ScanExpr("cars").select(bad),
+                                roles=["police"], analyze="strict")
+        assert "SEC006" in [d.code for d in excinfo.value.report.errors]
+
+    def test_declared_correct_udf_registers_strict(self):
+        dsms = self._dsms()
+        dsms.register_query("q", ScanExpr("cars").select(
+            named_udf("in_region")), roles=["police"], analyze="strict")
+
+
+class TestRewriteFlip:
+    CTX = RewriteContext(policy_streams=frozenset({"cars"}))
+
+    def _forms(self, cond):
+        root = ShieldExpr(SelectExpr(ScanExpr("cars"), cond),
+                          (frozenset({"police"}),))
+        return [repr(f) for f in equivalent_forms(root, self.CTX)]
+
+    @staticmethod
+    def _select_pushed(forms):
+        return any(f.index("σ") < f.index("ψ")
+                   for f in forms if "σ" in f and "ψ" in f)
+
+    def test_proven_udf_passes_commute_select_shield(self):
+        assert self._select_pushed(self._forms(named_udf("in_region")))
+
+    def test_unproven_udf_refuses_commute_select_shield(self):
+        cheater = FuncCondition(undeclared_cheater, ("x",), label="cheat")
+        opaque = FuncCondition(computed_getattr, ("x",), label="opaque")
+        assert not self._select_pushed(self._forms(cheater))
+        assert not self._select_pushed(self._forms(opaque))
+
+    def test_refusal_is_reported_as_sec004(self):
+        cheater = FuncCondition(undeclared_cheater, ("x",), label="cheat")
+        root = ShieldExpr(SelectExpr(ScanExpr("cars"), cheater),
+                          (frozenset({"police"}),))
+        diags = refused_rewrites(root, self.CTX)
+        udf_refusals = [d for d in diags
+                        if "UDF" in d.message and d.code == "SEC004"]
+        assert udf_refusals and udf_refusals[0].severity is Severity.INFO
+
+    def test_proven_udf_leaves_no_refusal(self):
+        root = ShieldExpr(SelectExpr(ScanExpr("cars"),
+                                     named_udf("in_region")),
+                          (frozenset({"police"}),))
+        assert [d for d in refused_rewrites(root, self.CTX)
+                if "UDF" in d.message] == []
+
+
+class TestCompiler:
+    def test_proven_pure_udf_vectorizes(self):
+        cond = FuncCondition(reads_get, ("x",), label="pure")
+        assert compile_condition(cond).fully_vectorized
+
+    def test_unproven_udf_stays_row_stage(self):
+        cond = FuncCondition(computed_getattr, ("x",), label="opaque")
+        assert not compile_condition(cond).fully_vectorized
+        rng = FuncCondition(uses_random, (), label="rng")
+        assert not compile_condition(rng).fully_vectorized
+
+    def test_conjunction_requires_totality(self):
+        # In a conjunction the bulk kernel sees rows short-circuiting
+        # would have skipped, so a non-total UDF must stay row-wise...
+        nontotal = And([Comparison("x", ">", 1),
+                        FuncCondition(reads_get, ("x",), label="pure")])
+        assert not compile_condition(nontotal).fully_vectorized
+        # ...while a proven-total one vectorizes inside the And.
+        total = And([Comparison("x", ">", 1),
+                     FuncCondition(total_guard, ("x",), label="guard")])
+        assert compile_condition(total).fully_vectorized
+
+
+class TestShardSafety:
+    def test_unproven_select_pins_to_coordinator(self):
+        proven = ScanExpr("cars").select(named_udf("in_region"))
+        opaque = ScanExpr("cars").select(
+            FuncCondition(closure_mutator, ("x",), label="stateful"))
+        local, split, _ = split_workload(
+            {"ok": proven, "pinned": opaque},
+            {"ok": frozenset({"a"}), "pinned": frozenset({"b"})})
+        assert [name for name, _, _ in local] == ["ok"]
+        assert set(split) == {"pinned"}
+
+
+class TestZeroFalsePositives:
+    UDF_CODES = {"SEC006", "SEC007", "SEC008"}
+
+    @pytest.mark.parametrize("pattern", [
+        "examples/plans/*.json", "tests/verify/cases/*.json"])
+    def test_corpus_is_clean(self, pattern):
+        paths = sorted(REPO.glob(pattern))
+        assert paths
+        for path in paths:
+            codes = {d.code for d in lint_file(str(path)).diagnostics}
+            assert not codes & self.UDF_CODES, path.name
+
+    def test_udf_example_plan_references_registered_udf(self):
+        plan = REPO / "examples" / "plans" / "shielded-udf-select.json"
+        assert "bpm_critical" in plan.read_text()
+        assert udf_entry("bpm_critical").attributes == frozenset(
+            {"beats_per_min"})

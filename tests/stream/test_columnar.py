@@ -130,11 +130,25 @@ class TestPurity:
         assert Or([Comparison("v", ">", 1),
                    Not(Comparison("w", "=", "a"))]).is_pure()
 
-    def test_func_condition_is_opaque(self):
-        fn = FuncCondition(lambda t: True, ["v"])
+    def test_unproven_func_condition_is_opaque(self):
+        # getattr with a name from a variable defeats the effect
+        # analyzer: the verdict is UNKNOWN, which fails closed.
+        def opaque(t):
+            field = "v"
+            return getattr(t, "values")[field] is not None
+
+        fn = FuncCondition(opaque, ["v"])
         assert not fn.is_pure()
         assert not And([Comparison("v", ">", 1), fn]).is_pure()
         assert not Not(fn).is_pure()
+
+    def test_proven_pure_func_condition_is_pure(self):
+        # The UDF effect analyzer proves purity + determinism, so the
+        # compiler may vectorize (PR 10; docs/ANALYSIS.md UDF effects).
+        fn = FuncCondition(lambda t: True, ["v"])
+        assert fn.is_pure()
+        assert And([Comparison("v", ">", 1), fn]).is_pure()
+        assert Not(fn).is_pure()
 
 
 # -- compiled predicates -----------------------------------------------------
